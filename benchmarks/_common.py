@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures at reduced
+scale (the paper ran 10 warehouses × 32 000 items × 4 h on a Xeon; these
+benches run minutes-long traces with hundreds of items so the whole
+suite finishes in minutes). Scale factors are stated in each bench's
+docstring and in EXPERIMENTS.md; the *shapes* — who wins, by what
+factor, where crossovers fall — are the reproduction targets.
+
+Results are printed through ``sys.__stdout__`` (bypassing pytest's
+capture so they land in ``bench_output.txt``) and archived under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print a result table and archive it under benchmarks/results/."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [f"== {name} =="]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines) + "\n"
+    sys.__stdout__.write("\n" + text)
+    sys.__stdout__.flush()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    safe = name.lower().replace(" ", "_").replace("/", "-")
+    with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w") as fh:
+        fh.write(text)
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.2f}%"

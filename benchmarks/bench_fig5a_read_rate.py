@@ -1,0 +1,71 @@
+"""Figure 5(a) — error vs read rate for All / W1200 / CR truncation.
+
+Scale: 1 warehouse, ~500 items, 1800 s traces (paper: 32 000 items,
+longer traces). Expected shape: location error tiny for all methods;
+containment error falls as RR rises; the window method is worst because
+belt evidence ages out of its window; CR ≈ All (or slightly better).
+"""
+
+from _common import emit_table, pct
+
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.metrics.accuracy import service_containment_error, service_location_error
+from repro.sim.supplychain import SupplyChainParams, simulate
+
+READ_RATES = [0.6, 0.7, 0.8, 0.9, 0.99]
+METHODS = {
+    "All": dict(truncation="all"),
+    "W1200": dict(truncation="window", window_size=1200),
+    "CR": dict(truncation="cr"),
+}
+
+
+def run_cell(trace, method_kwargs):
+    service = StreamingInference(
+        trace,
+        ServiceConfig(
+            run_interval=300, recent_history=600, emit_events=False, **method_kwargs
+        ),
+    )
+    service.run_until(trace.horizon)
+    return service
+
+
+def run_sweep():
+    rows = []
+    for rr in READ_RATES:
+        result = simulate(
+            SupplyChainParams(
+                horizon=1800,
+                items_per_case=10,
+                injection_period=240,
+                main_read_rate=rr,
+                overlap_rate=0.5,
+                seed=41,
+            )
+        )
+        row = [rr]
+        loc_cr = None
+        for name, kwargs in METHODS.items():
+            service = run_cell(result.trace, kwargs)
+            row.append(pct(service_containment_error(result.truth, service)))
+            if name == "CR":
+                loc_cr = service_location_error(result.truth, service)
+        row.append(pct(loc_cr))
+        rows.append(row)
+    return rows
+
+
+def test_fig5a_read_rate(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Figure 5(a) error vs read rate",
+        ["RR", "Containment(All)", "Containment(W1200)", "Containment(CR)", "Location(CR)"],
+        rows,
+    )
+    # Shape: containment error at the lowest RR exceeds the highest RR's
+    # for every method, and location error stays below 5%.
+    as_float = lambda s: float(s.rstrip("%"))
+    assert as_float(rows[0][3]) >= as_float(rows[-1][3])
+    for row in rows:
+        assert as_float(row[4]) < 5.0

@@ -1,0 +1,50 @@
+"""Figure 6(a) — basic algorithm error vs read rate (full history).
+
+Single inference over a 1500 s trace with all readings (the §C.4 "basic
+algorithm" experiment). Expected shape: location error < ~1% at every
+read rate; containment error below ~7-8% at RR = 0.6 and falling as RR
+rises (co-location evidence scales quadratically with RR).
+"""
+
+from _common import emit_table, pct
+
+from repro.core.likelihood import TraceWindow
+from repro.core.rfinfer import RFInfer
+from repro.metrics.accuracy import containment_error_rate, location_error_rate
+from repro.sim.supplychain import SupplyChainParams, simulate
+
+READ_RATES = [0.6, 0.7, 0.8, 0.9, 0.99]
+
+
+def run_sweep():
+    rows = []
+    for rr in READ_RATES:
+        result = simulate(
+            SupplyChainParams(
+                horizon=1500,
+                items_per_case=20,
+                injection_period=180,
+                main_read_rate=rr,
+                seed=46,
+            )
+        )
+        window = TraceWindow.from_range(result.trace, 0, 1500)
+        out = RFInfer(window).run()
+        cont = containment_error_rate(result.truth, out.containment, 1499)
+        loc = location_error_rate(result.truth, out, 0)
+        rows.append([rr, pct(cont), pct(loc)])
+    return rows
+
+
+def test_fig6a_basic_error(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Figure 6(a) basic algorithm error vs read rate",
+        ["RR", "Containment", "Location"],
+        rows,
+    )
+    as_float = lambda s: float(s.rstrip("%"))
+    assert as_float(rows[0][1]) <= 10.0  # ≤7% in the paper at RR=0.6
+    assert as_float(rows[-1][1]) <= as_float(rows[0][1])
+    for row in rows:
+        assert as_float(row[2]) <= 1.5  # ~0.5% in the paper

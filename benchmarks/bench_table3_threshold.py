@@ -1,0 +1,80 @@
+"""Table 3 — change-detection F-measure across fixed δ values, plus the
+offline-calibrated choice.
+
+Expected shape: F rises then falls across the δ grid (too low → false
+positives, too high → missed changes); the offline deployment
+calibration lands near the optimum.
+"""
+
+from _common import emit_table
+
+from repro.core.calibration import calibrate_threshold_from_deployment
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.metrics.fmeasure import change_detection_fmeasure
+from repro.sim.supplychain import SupplyChainParams, simulate
+
+DELTAS = [10, 20, 40, 80, 120, 160]
+READ_RATES = [0.6, 0.8]
+TOLERANCE = 600
+
+
+def fmeasure_at(result, delta: float) -> float:
+    service = StreamingInference(
+        result.trace,
+        ServiceConfig(
+            run_interval=300,
+            recent_history=600,
+            truncation="cr",
+            change_detection=True,
+            change_threshold=delta,
+            emit_events=False,
+        ),
+    )
+    service.run_until(result.params.horizon)
+    fm = change_detection_fmeasure(
+        result.truth.changes, service.changes, tolerance=TOLERANCE
+    )
+    return fm.f1
+
+
+def run_sweep():
+    rows = []
+    chosen = {}
+    for rr in READ_RATES:
+        result = simulate(
+            SupplyChainParams(
+                horizon=1800,
+                items_per_case=10,
+                injection_period=240,
+                main_read_rate=rr,
+                n_shelves=6,
+                anomaly_interval=60,
+                seed=48,
+            )
+        )
+        row = [f"RR={rr}"]
+        for delta in DELTAS:
+            row.append(f"{100 * fmeasure_at(result, delta):.0f}")
+        calibrated = calibrate_threshold_from_deployment(
+            main_read_rate=rr, n_shelves=6, horizon=2400, seed=7
+        )
+        chosen[rr] = calibrated
+        row.append(f"{100 * fmeasure_at(result, calibrated):.0f} (δ={calibrated:.0f})")
+        rows.append(row)
+    return rows, chosen
+
+
+def test_table3_threshold(benchmark):
+    rows, chosen = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Table 3 F-measure vs fixed delta + offline choice",
+        ["trace"] + [f"δ={d}" for d in DELTAS] + ["offline δ"],
+        rows,
+    )
+    # Shape: for each trace, the offline-calibrated F is within reach of
+    # the best fixed value on the grid (the paper reports within 2%; at
+    # this scale we accept a wider band).
+    for row in rows:
+        grid = [float(v) for v in row[1 : 1 + len(DELTAS)]]
+        offline = float(row[-1].split(" ")[0])
+        assert offline >= max(grid) - 30.0

@@ -1,0 +1,75 @@
+"""Table 4 — F-measure and time cost vs recent-history size H̄.
+
+Expected shape: larger H̄ improves change-detection F (more suffix
+evidence) but costs more inference time; low read rates need larger H̄
+to reach the same accuracy.
+"""
+
+from _common import emit_table
+
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.metrics.fmeasure import change_detection_fmeasure
+from repro.sim.supplychain import SupplyChainParams, simulate
+
+HISTORIES = [300, 500, 700, 900]
+READ_RATES = [0.6, 0.8]
+TOLERANCE = 600
+DELTA = 80.0
+
+
+def run_sweep():
+    rows = []
+    for rr in READ_RATES:
+        result = simulate(
+            SupplyChainParams(
+                horizon=1800,
+                items_per_case=10,
+                injection_period=240,
+                main_read_rate=rr,
+                n_shelves=6,
+                anomaly_interval=60,
+                seed=49,
+            )
+        )
+        f_row = [f"RR={rr} F-m.(%)"]
+        t_row = [f"RR={rr} time(s)"]
+        for history in HISTORIES:
+            service = StreamingInference(
+                result.trace,
+                ServiceConfig(
+                    run_interval=300,
+                    recent_history=history,
+                    truncation="cr",
+                    change_detection=True,
+                    change_threshold=DELTA,
+                    emit_events=False,
+                ),
+            )
+            service.run_until(1800)
+            fm = change_detection_fmeasure(
+                result.truth.changes, service.changes, tolerance=TOLERANCE
+            )
+            f_row.append(f"{100 * fm.f1:.0f}")
+            t_row.append(f"{service.total_inference_seconds:.2f}")
+        rows.append(f_row)
+        rows.append(t_row)
+    return rows
+
+
+def test_table4_recent_history(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Table 4 F-measure and time vs recent history size",
+        ["metric"] + [f"H={h}" for h in HISTORIES],
+        rows,
+    )
+    # Sanity at this scale: all runs complete well inside the stream
+    # interval. (The paper-scale effect — time growing with H̄ — is
+    # swamped here by EM iteration-count noise; windows are hundreds,
+    # not tens of thousands, of epochs.)
+    for t_row in rows[1::2]:
+        times = [float(v) for v in t_row[1:]]
+        assert all(0 < t < 300 for t in times)
+    for f_row in rows[0::2]:
+        values = [float(v) for v in f_row[1:]]
+        assert all(0 <= v <= 100 for v in values)

@@ -1,0 +1,71 @@
+"""Table 5 — communication cost: Centralized vs None vs CR migration.
+
+Expected shape: None ships nothing; CR ships collapsed weights only
+(tens of bytes per migration); the centralized approach ships every raw
+reading (gzip-compressed) and costs orders of magnitude more. The gap
+widens with trace volume — the paper's 4-hour, 0.32 M-item run shows
+~3 orders of magnitude; this scaled run shows the same ordering with a
+smaller ratio, plus the per-reading/per-migration unit costs that the
+extrapolation rests on.
+"""
+
+from _common import emit_table
+
+from repro.core.service import ServiceConfig
+from repro.distributed.centralized import CentralizedDeployment
+from repro.distributed.coordinator import DistributedDeployment
+from repro.sim.supplychain import SupplyChainParams, simulate
+from repro.sim.warehouse import WarehouseParams
+
+READ_RATES = [0.6, 0.7, 0.8, 0.9]
+
+
+def run_sweep():
+    config = ServiceConfig(
+        run_interval=300, recent_history=600, truncation="cr", emit_events=False
+    )
+    rows = []
+    for rr in READ_RATES:
+        result = simulate(
+            SupplyChainParams(
+                n_warehouses=3,
+                horizon=2400,
+                items_per_case=8,
+                cases_per_pallet=4,
+                injection_period=300,
+                main_read_rate=rr,
+                warehouse=WarehouseParams(shelf_dwell_mean=400, shelf_dwell_jitter=50),
+                seed=50,
+            )
+        )
+        central = CentralizedDeployment(result, config)
+        central.run()
+        none_dep = DistributedDeployment(result, config, strategy="none")
+        none_dep.run()
+        cr_dep = DistributedDeployment(result, config, strategy="collapsed")
+        cr_dep.run()
+        rows.append(
+            [
+                rr,
+                f"{central.communication_bytes():,}",
+                f"{none_dep.communication_bytes():,}",
+                f"{cr_dep.communication_bytes():,}",
+                f"{central.communication_bytes() / max(cr_dep.communication_bytes(), 1):.1f}x",
+            ]
+        )
+    return rows
+
+
+def test_table5_comm_cost(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Table 5 communication cost (bytes)",
+        ["RR", "Centralized", "None", "CR", "Centralized/CR"],
+        rows,
+    )
+    for row in rows:
+        central = int(row[1].replace(",", ""))
+        none = int(row[2].replace(",", ""))
+        cr = int(row[3].replace(",", ""))
+        assert none == 0
+        assert cr < central / 3  # CR is a small fraction of centralized

@@ -1,0 +1,140 @@
+"""§5.4 table — Q1/Q2 answer quality and query-state size w/ and w/o
+centroid sharing.
+
+A cold-chain deployment runs inference, feeds the inferred event stream
+to Q1 (hybrid: containment + location + temperature) and Q2 (location
+only), and scores alerts against the ground-truth stream. At the
+storage area's hand-off point the per-object automaton states are
+serialized raw and with centroid-based sharing (grouped by container,
+as §4.2 prescribes).
+
+Expected shape: F-measures rise with the read rate and Q2 ≥ Q1 (Q2
+avoids the noisier containment estimate); sharing shrinks state several
+fold.
+"""
+
+from collections import defaultdict
+
+from _common import emit_table
+
+from repro.core.events import ObjectEvent, events_from_truth
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.distributed.sharing import centroid_compress
+from repro.metrics.fmeasure import match_alerts
+from repro.queries.q1 import FreezerExposureQuery
+from repro.queries.q2 import TemperatureExposureQuery
+from repro.sim.sensors import SensorReading
+from repro.streams.engine import StreamScheduler
+from repro.streams.state import encode_pattern_state
+from repro.workloads.scenarios import cold_chain_scenario
+
+READ_RATES = [0.6, 0.7, 0.8, 0.9]
+TOLERANCE = 310  # one inference interval of answer latency
+
+
+def run_query(query, events, scenario):
+    scheduler = StreamScheduler()
+    scheduler.route(ObjectEvent, query.on_event)
+    scheduler.route(SensorReading, query.on_sensor)
+    scheduler.run(events, scenario.sensor_stream(0))
+    return query
+
+
+def state_sizes(query, service, scenario):
+    """Raw vs centroid-shared automaton state, grouped by container.
+
+    §4.2 migrates the query state of *every* monitored object leaving a
+    storage area (most automata are in identical quiescent states —
+    that similarity is exactly what centroid sharing exploits), grouped
+    by the objects' shared container.
+    """
+    groups = defaultdict(dict)
+    for tag in sorted(scenario.catalog.frozen_items):
+        state = query.pattern.state_of(tag)
+        container = service.containment_at(tag)
+        groups[container][tag] = encode_pattern_state(state)
+    raw = sum(len(s) for g in groups.values() for s in g.values())
+    shared = sum(
+        centroid_compress(states).byte_size() for states in groups.values() if states
+    )
+    return raw, shared
+
+
+def run_cell(rr: float):
+    # Few room cases so exposures cluster: exposed items sharing a case
+    # also share the temperature history their states collect — the
+    # commonality centroid sharing exploits (§4.2).
+    scenario = cold_chain_scenario(
+        seed=51,
+        read_rate=rr,
+        n_freezer_cases=8,
+        n_room_cases=3,
+        items_per_case=8,
+        n_exposures=6,
+        horizon=1200,
+    )
+    service = StreamingInference(
+        scenario.trace,
+        ServiceConfig(
+            run_interval=300,
+            recent_history=600,
+            truncation="cr",
+            emit_events=True,
+            event_period=5,
+        ),
+    )
+    service.run_until(scenario.horizon)
+    truth_events = events_from_truth(scenario.truth, scenario.horizon, period=5)
+    inferred_events = sorted(service.events, key=lambda e: e.time)
+
+    out = {}
+    for name, factory in (
+        ("Q1", lambda: FreezerExposureQuery(scenario.catalog, exposure_duration=300)),
+        ("Q2", lambda: TemperatureExposureQuery(scenario.catalog, exposure_duration=400)),
+    ):
+        truth_q = run_query(factory(), truth_events, scenario)
+        inferred_q = run_query(factory(), inferred_events, scenario)
+        fm = match_alerts(
+            inferred_q.alert_pairs(), truth_q.alert_pairs(), tolerance=TOLERANCE
+        )
+        raw, shared = state_sizes(inferred_q, service, scenario)
+        out[name] = (fm.f1, raw, shared)
+    return out
+
+
+def run_sweep():
+    table = {"Q1": [], "Q2": []}
+    for rr in READ_RATES:
+        cell = run_cell(rr)
+        for name in ("Q1", "Q2"):
+            f1, raw, shared = cell[name]
+            table[name].append((rr, f1, raw, shared))
+    return table
+
+
+def test_query_state_table(benchmark):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for name in ("Q1", "Q2"):
+        rows.append(
+            [f"{name} F-m.(%)"] + [f"{100 * f1:.1f}" for _, f1, _, _ in table[name]]
+        )
+        rows.append(
+            [f"{name} state w/o share(B)"] + [str(raw) for _, _, raw, _ in table[name]]
+        )
+        rows.append(
+            [f"{name} state w. share(B)"]
+            + [str(shared) for _, _, _, shared in table[name]]
+        )
+    emit_table(
+        "Sec 5.4 query accuracy and state sharing",
+        ["metric"] + [f"RR={rr}" for rr in READ_RATES],
+        rows,
+    )
+    for name in ("Q1", "Q2"):
+        cells = table[name]
+        # F-measure healthy at high read rates.
+        assert cells[-1][1] >= 0.6
+        # Sharing shrinks every cell's state.
+        for _, _, raw, shared in cells:
+            assert shared < raw

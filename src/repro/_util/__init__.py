@@ -1,0 +1,20 @@
+"""Internal utilities shared across the repro packages.
+
+These helpers are deliberately small and dependency-free (numpy only):
+log-space arithmetic, seeded RNG streams, interval maps for ground truth,
+and a compact binary encoding used to account for migrated state sizes.
+"""
+
+from repro._util.intervals import IntervalMap
+from repro._util.logmath import log_normalize, logsumexp
+from repro._util.encoding import ByteReader, ByteWriter
+from repro._util.rng import spawn_rng
+
+__all__ = [
+    "ByteReader",
+    "ByteWriter",
+    "IntervalMap",
+    "log_normalize",
+    "logsumexp",
+    "spawn_rng",
+]

@@ -1,0 +1,121 @@
+"""Compact binary encoding used to measure migrated-state sizes.
+
+The paper reports state-migration and communication costs in *bytes*
+(Table 5, §5.4 table). To make those numbers meaningful we serialize all
+migrated state (inference weights, query automaton state) with a compact
+struct-style encoding rather than pickling Python objects.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["ByteWriter", "ByteReader"]
+
+
+class ByteWriter:
+    """Append-only binary encoder with varint and typed helpers."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+
+    def varint(self, value: int) -> "ByteWriter":
+        """Encode a non-negative integer with LEB128 variable length."""
+        if value < 0:
+            raise ValueError("varint encodes non-negative integers only")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._chunks.append(bytes((byte | 0x80,)))
+            else:
+                self._chunks.append(bytes((byte,)))
+                return self
+
+    def svarint(self, value: int) -> "ByteWriter":
+        """Encode a signed integer (zig-zag + varint)."""
+        return self.varint((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+    def float64(self, value: float) -> "ByteWriter":
+        self._chunks.append(struct.pack("<d", value))
+        return self
+
+    def float32(self, value: float) -> "ByteWriter":
+        self._chunks.append(struct.pack("<f", value))
+        return self
+
+    def text(self, value: str) -> "ByteWriter":
+        raw = value.encode("utf-8")
+        self.varint(len(raw))
+        self._chunks.append(raw)
+        return self
+
+    def raw(self, value: bytes) -> "ByteWriter":
+        self._chunks.append(value)
+        return self
+
+    def blob(self, value: bytes) -> "ByteWriter":
+        self.varint(len(value))
+        self._chunks.append(value)
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks)
+
+
+class ByteReader:
+    """Sequential decoder matching :class:`ByteWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def varint(self) -> int:
+        shift = 0
+        result = 0
+        while True:
+            if self._pos >= len(self._data):
+                raise EOFError("truncated varint")
+            byte = self._data[self._pos]
+            self._pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def svarint(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def float64(self) -> float:
+        value = struct.unpack_from("<d", self._data, self._pos)[0]
+        self._pos += 8
+        return value
+
+    def float32(self) -> float:
+        value = struct.unpack_from("<f", self._data, self._pos)[0]
+        self._pos += 4
+        return value
+
+    def text(self) -> str:
+        length = self.varint()
+        raw = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return raw.decode("utf-8")
+
+    def blob(self) -> bytes:
+        length = self.varint()
+        raw = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return raw
+
+    def raw(self, length: int) -> bytes:
+        value = self._data[self._pos : self._pos + length]
+        self._pos += length
+        return value
+
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data)

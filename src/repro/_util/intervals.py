@@ -1,0 +1,85 @@
+"""Piecewise-constant maps over integer time.
+
+Ground truth (true locations, true containment) is piecewise constant:
+an object is at one location for a stretch of epochs, then moves. An
+:class:`IntervalMap` stores the breakpoints only, which keeps 4-hour
+traces with hundreds of thousands of epochs cheap to store and query.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Generic, Iterator, TypeVar
+
+V = TypeVar("V")
+
+__all__ = ["IntervalMap"]
+
+
+class IntervalMap(Generic[V]):
+    """Map ``time -> value`` where the value changes at few breakpoints.
+
+    ``set_from(t, value)`` declares that the value is ``value`` from epoch
+    ``t`` (inclusive) until the next breakpoint. Queries before the first
+    breakpoint return ``default``.
+    """
+
+    __slots__ = ("_times", "_values", "default")
+
+    def __init__(self, default: V | None = None) -> None:
+        self._times: list[int] = []
+        self._values: list[V] = []
+        self.default = default
+
+    def set_from(self, time: int, value: V) -> None:
+        """Declare the value from ``time`` onward (until overridden)."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"breakpoints must be appended in time order: {time} < {self._times[-1]}"
+            )
+        if self._times and self._times[-1] == time:
+            self._values[-1] = value
+            return
+        if self._values and self._values[-1] == value:
+            return  # no-op change; keep the map minimal
+        self._times.append(time)
+        self._values.append(value)
+
+    def value_at(self, time: int) -> V | None:
+        """Return the value in force at ``time``."""
+        idx = bisect_right(self._times, time) - 1
+        if idx < 0:
+            return self.default
+        return self._values[idx]
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def breakpoints(self) -> Iterator[tuple[int, V]]:
+        """Yield ``(time, value)`` breakpoints in order."""
+        return iter(zip(self._times, self._values))
+
+    def segments(self, start: int, end: int) -> Iterator[tuple[int, int, V | None]]:
+        """Yield ``(seg_start, seg_end, value)`` covering ``[start, end)``.
+
+        Segments are clipped to the requested range; the value before the
+        first breakpoint is ``default``.
+        """
+        if start >= end:
+            return
+        idx = bisect_right(self._times, start) - 1
+        cursor = start
+        while cursor < end:
+            if idx < 0:
+                value = self.default
+            else:
+                value = self._values[idx]
+            nxt = self._times[idx + 1] if idx + 1 < len(self._times) else end
+            seg_end = min(nxt, end)
+            yield cursor, seg_end, value
+            cursor = seg_end
+            idx += 1
+
+    def final_value(self) -> V | None:
+        """Return the value after the last breakpoint."""
+        return self._values[-1] if self._values else self.default

@@ -1,0 +1,45 @@
+"""Numerically stable log-space arithmetic helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["logsumexp", "log_normalize"]
+
+
+def logsumexp(values: np.ndarray, axis: int | None = None) -> np.ndarray | float:
+    """Compute ``log(sum(exp(values)))`` without overflow.
+
+    Parameters
+    ----------
+    values:
+        Array of log-domain values. ``-inf`` entries are handled.
+    axis:
+        Axis to reduce over; ``None`` reduces over the whole array.
+    """
+    values = np.asarray(values, dtype=float)
+    peak = np.max(values, axis=axis, keepdims=axis is not None)
+    if axis is None:
+        peak_scalar = float(peak)
+        if not np.isfinite(peak_scalar):
+            return peak_scalar
+        return peak_scalar + float(np.log(np.sum(np.exp(values - peak_scalar))))
+    safe_peak = np.where(np.isfinite(peak), peak, 0.0)
+    total = np.log(np.sum(np.exp(values - safe_peak), axis=axis)) + np.squeeze(
+        safe_peak, axis=axis
+    )
+    # Rows whose peak was -inf sum to zero probability: keep them -inf.
+    return np.where(np.isfinite(np.squeeze(peak, axis=axis)), total, -np.inf)
+
+
+def log_normalize(log_weights: np.ndarray) -> np.ndarray:
+    """Normalize a vector of log-weights into a probability vector.
+
+    Returns the probabilities in linear space. A vector of all ``-inf``
+    normalizes to the uniform distribution (zero evidence).
+    """
+    log_weights = np.asarray(log_weights, dtype=float)
+    total = logsumexp(log_weights)
+    if not np.isfinite(total):
+        return np.full(log_weights.shape, 1.0 / log_weights.size)
+    return np.exp(log_weights - total)

@@ -1,0 +1,20 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.smurf` — SMURF adaptive-window RFID smoothing
+  (Jeffery et al., VLDB Journal 2007), which cleans each tag's readings
+  independently with a statistically sized sliding window.
+* :mod:`repro.baselines.smurf_star` — SMURF*, the paper's extension of
+  SMURF with heuristics for containment inference and containment-change
+  detection (Appendix C.3).
+"""
+
+from repro.baselines.smurf import SmurfConfig, SmurfSmoother, smooth_trace
+from repro.baselines.smurf_star import SmurfStar, SmurfStarResult
+
+__all__ = [
+    "SmurfConfig",
+    "SmurfSmoother",
+    "SmurfStar",
+    "SmurfStarResult",
+    "smooth_trace",
+]

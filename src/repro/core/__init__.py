@@ -1,0 +1,44 @@
+"""The paper's primary contribution: RFINFER and its companions.
+
+* :mod:`repro.core.likelihood` — log-likelihood plumbing over a window
+  of epochs (Eq. 1–4 of the paper, vectorized).
+* :mod:`repro.core.candidates` — co-location counting and candidate
+  pruning (Appendix A.3).
+* :mod:`repro.core.rfinfer` — the RFINFER EM algorithm (§3.2,
+  Algorithm 1) in optimized form.
+* :mod:`repro.core.reference` — a line-by-line naive implementation of
+  Algorithm 1, used to validate the optimized engine.
+* :mod:`repro.core.evidence` — point/cumulative evidence of co-location
+  (Eq. 7, Fig. 4).
+* :mod:`repro.core.changepoint` — GLR change-point detection with
+  offline threshold calibration (§3.3, Appendix A.2).
+* :mod:`repro.core.truncation` — critical-region history truncation
+  (§4.1).
+* :mod:`repro.core.collapsed` — collapsed inference state for state
+  migration (§4.1).
+* :mod:`repro.core.service` — the streaming inference service that runs
+  RFINFER periodically and emits the object event stream (Fig. 3).
+"""
+
+from repro.core.changepoint import ChangePointDetector, calibrate_threshold
+from repro.core.collapsed import CollapsedState
+from repro.core.events import ObjectEvent
+from repro.core.likelihood import TraceWindow
+from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.core.truncation import CriticalRegion, find_critical_region
+
+__all__ = [
+    "ChangePointDetector",
+    "CollapsedState",
+    "CriticalRegion",
+    "InferenceConfig",
+    "ObjectEvent",
+    "RFInfer",
+    "RFInferResult",
+    "ServiceConfig",
+    "StreamingInference",
+    "TraceWindow",
+    "calibrate_threshold",
+    "find_critical_region",
+]

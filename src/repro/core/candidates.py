@@ -1,0 +1,90 @@
+"""Candidate-container pruning (Appendix A.3).
+
+"When computing the container that is most strongly co-located with a
+given object, it is probably safe to consider only containers that have
+been observed frequently with the object."
+
+Co-location is counted at the reading level: object ``o`` and container
+``c`` are co-located in epoch ``t`` when some reader fired for both in
+``t``. Each object keeps its top-k most co-located containers as
+candidates; the M-step and the change-point statistics range over those
+only, which removes the factor ``C`` from the M-step complexity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Mapping, Sequence
+
+from repro.sim.tags import EPC, TagKind
+from repro.core.likelihood import TraceWindow
+
+__all__ = ["colocation_counts", "top_candidates"]
+
+
+def colocation_counts(
+    window: TraceWindow,
+    objects: Sequence[EPC] | None = None,
+    containers: Sequence[EPC] | None = None,
+) -> dict[EPC, Counter]:
+    """Count per (object, container) the epochs in which they were
+    co-read by the same reader.
+
+    Returns ``{object: Counter({container: count})}``. Cost is linear in
+    the number of readings (bucketed by (epoch-row, reader)).
+    """
+    if objects is None:
+        objects = window.tags(TagKind.ITEM)
+    if containers is None:
+        containers = window.tags(TagKind.CASE)
+    object_set = set(objects)
+    container_set = set(containers)
+
+    buckets_objects: dict[tuple[int, int], list[EPC]] = defaultdict(list)
+    buckets_containers: dict[tuple[int, int], list[EPC]] = defaultdict(list)
+    for tag, (rows, readers) in window.readings.items():
+        if tag in object_set:
+            target = buckets_objects
+        elif tag in container_set:
+            target = buckets_containers
+        else:
+            continue
+        for row, reader in zip(rows.tolist(), readers.tolist()):
+            target[(row, reader)].append(tag)
+
+    counts: dict[EPC, Counter] = {obj: Counter() for obj in objects}
+    for key, objs in buckets_objects.items():
+        cons = buckets_containers.get(key)
+        if not cons:
+            continue
+        for obj in objs:
+            counter = counts[obj]
+            for con in cons:
+                counter[con] += 1
+    return counts
+
+
+def top_candidates(
+    counts: Mapping[EPC, Counter],
+    k: int = 5,
+    extra: Mapping[EPC, Sequence[EPC]] | None = None,
+) -> dict[EPC, list[EPC]]:
+    """Keep each object's ``k`` most co-located containers.
+
+    ``extra`` merges in additional must-keep candidates per object —
+    the previously inferred container and any containers carried in a
+    migrated collapsed state (their evidence would otherwise be lost).
+    """
+    candidates: dict[EPC, list[EPC]] = {}
+    for obj, counter in counts.items():
+        ranked = [c for c, _ in counter.most_common(k)]
+        if extra and obj in extra:
+            for must in extra[obj]:
+                if must is not None and must not in ranked:
+                    ranked.append(must)
+        candidates[obj] = ranked
+    if extra:
+        for obj, musts in extra.items():
+            if obj not in candidates:
+                candidates[obj] = [m for m in musts if m is not None]
+    return candidates

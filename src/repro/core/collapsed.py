@@ -1,0 +1,93 @@
+"""Collapsed inference state for migration (§4.1).
+
+"We employ a technique to collapse the inference state to a single
+number for each container-object pair, i.e., the co-location weight
+w_co, hence avoiding the overhead of transferring readings entirely."
+
+A :class:`CollapsedState` is what travels between sites (or is written
+to the tag's on-board memory): the object's accumulated candidate
+weights, its current container estimate, and its change floor. The
+binary encoding is compact — a few bytes per candidate — because
+Table 5's communication-cost comparison depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.sim.tags import EPC, TagKind
+
+__all__ = ["CollapsedState"]
+
+
+def _write_epc(writer: ByteWriter, tag: EPC | None) -> None:
+    if tag is None:
+        writer.varint(3)  # sentinel kind
+        return
+    writer.varint(int(tag.kind))
+    writer.varint(tag.serial)
+
+
+def _read_epc(reader: ByteReader) -> EPC | None:
+    kind = reader.varint()
+    if kind == 3:
+        return None
+    return EPC(TagKind(kind), reader.varint())
+
+
+@dataclass
+class CollapsedState:
+    """Per-object inference state collapsed to candidate weights."""
+
+    tag: EPC
+    weights: dict[EPC, float] = field(default_factory=dict)
+    container: EPC | None = None
+    changed_at: int | None = None
+
+    def merge(self, new_weights: dict[EPC, float]) -> dict[EPC, float]:
+        """Old weights + weights from the new site's readings (§4.1:
+        "simply adds the old transferred weights to the new weights")."""
+        merged = dict(self.weights)
+        for candidate, weight in new_weights.items():
+            merged[candidate] = merged.get(candidate, 0.0) + weight
+        return merged
+
+    def best_container(self) -> EPC | None:
+        if not self.weights:
+            return self.container
+        return max(self.weights, key=self.weights.__getitem__)
+
+    # -- wire format ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        _write_epc(writer, self.tag)
+        _write_epc(writer, self.container)
+        writer.varint(0 if self.changed_at is None else self.changed_at + 1)
+        writer.varint(len(self.weights))
+        for candidate in sorted(self.weights):
+            _write_epc(writer, candidate)
+            writer.float32(self.weights[candidate])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CollapsedState":
+        reader = ByteReader(data)
+        tag = _read_epc(reader)
+        if tag is None:
+            raise ValueError("collapsed state must name its object")
+        container = _read_epc(reader)
+        raw_changed = reader.varint()
+        changed_at = None if raw_changed == 0 else raw_changed - 1
+        count = reader.varint()
+        weights: dict[EPC, float] = {}
+        for _ in range(count):
+            candidate = _read_epc(reader)
+            weight = reader.float32()
+            if candidate is not None:
+                weights[candidate] = weight
+        return cls(tag, weights, container, changed_at)
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())

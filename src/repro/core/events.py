@@ -1,0 +1,61 @@
+"""The object event stream produced by inference (§2, §3).
+
+Inference translates raw readings ``(time, tag, reader)`` into
+high-level events ``(time, tag, location, container)`` — the schema
+that tracking and monitoring queries consume. Optional descriptive
+attributes (product type, container type) come from the manufacturer's
+catalog (:mod:`repro.workloads.catalog`) at query time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import GroundTruth
+
+__all__ = ["ObjectEvent", "events_from_truth"]
+
+
+class ObjectEvent(NamedTuple):
+    """One inferred object state: where it is and what contains it."""
+
+    time: int
+    tag: EPC
+    site: int
+    place: int
+    container: EPC | None
+
+
+def events_from_truth(
+    truth: GroundTruth,
+    horizon: int,
+    sites: Iterable[int] | None = None,
+    period: int = 1,
+    kinds: tuple[TagKind, ...] = (TagKind.ITEM, TagKind.CASE),
+) -> list[ObjectEvent]:
+    """The event stream a *perfect* inference module would emit.
+
+    Query answers computed on this stream are the ground truth that
+    §5.4's F-measures score inferred-stream answers against.
+    """
+    site_filter = set(sites) if sites is not None else None
+    events: list[ObjectEvent] = []
+    for tag in truth.tags():
+        if tag.kind not in kinds:
+            continue
+        imap = truth.locations[tag]
+        for seg_start, seg_end, loc in imap.segments(0, horizon):
+            if loc is None or loc.site < 0:
+                continue
+            if site_filter is not None and loc.site not in site_filter:
+                continue
+            first = seg_start + (-seg_start) % period
+            for time in range(first, seg_end, period):
+                events.append(
+                    ObjectEvent(
+                        time, tag, loc.site, loc.place, truth.container_at(tag, time)
+                    )
+                )
+    events.sort(key=lambda e: (e.time, e.tag))
+    return events

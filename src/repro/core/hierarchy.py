@@ -1,0 +1,71 @@
+"""Hierarchical containment (Appendix A.4).
+
+"Just as objects are grouped into containers, containers may themselves
+be stored in larger containers, such as pallets. We can extend our
+model and algorithms to arbitrarily nested containment hierarchies,
+intuitively by adding latent variables for the pallet locations whose
+values are imputed using EM in a similar way as the container
+locations."
+
+The engine already treats "object" and "container" as roles, not kinds,
+so the extension is a second EM pass one level up: cases play the
+object role and pallets the container role. Levels are inferred
+bottom-up; the result combines both into item → case → pallet chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.likelihood import TraceWindow
+from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
+from repro.sim.tags import EPC, TagKind
+
+__all__ = ["HierarchyResult", "infer_hierarchy"]
+
+
+@dataclass
+class HierarchyResult:
+    """Two-level containment estimates."""
+
+    items_level: RFInferResult
+    cases_level: RFInferResult
+
+    def case_of(self, item: EPC) -> EPC | None:
+        return self.items_level.containment.get(item)
+
+    def pallet_of(self, case: EPC) -> EPC | None:
+        return self.cases_level.containment.get(case)
+
+    def chain_of(self, item: EPC) -> tuple[EPC | None, EPC | None]:
+        """(case, pallet) chain for an item."""
+        case = self.case_of(item)
+        pallet = self.pallet_of(case) if case is not None else None
+        return case, pallet
+
+
+def infer_hierarchy(
+    window: TraceWindow,
+    config: InferenceConfig | None = None,
+) -> HierarchyResult:
+    """Infer item → case and case → pallet containment bottom-up.
+
+    Each level is one RFINFER run; the upper level reuses nothing from
+    the lower one except the shared window (the levels are conditionally
+    independent given the readings, exactly as in A.4's latent-variable
+    construction).
+    """
+    config = config or InferenceConfig()
+    items_level = RFInfer(
+        window,
+        config,
+        objects=window.tags(TagKind.ITEM),
+        containers=window.tags(TagKind.CASE),
+    ).run()
+    cases_level = RFInfer(
+        window,
+        config,
+        objects=window.tags(TagKind.CASE),
+        containers=window.tags(TagKind.PALLET),
+    ).run()
+    return HierarchyResult(items_level, cases_level)

@@ -1,0 +1,119 @@
+"""Naive, line-by-line implementation of Algorithm 1 (Appendix A.1).
+
+This is the O(T·C·O·R²)-per-iteration version of RFINFER, written to
+mirror the paper's pseudocode as literally as possible. It exists to
+validate the optimized engine: on any input small enough to run, both
+must produce the same containment estimate, posteriors, and weights
+(up to floating-point noise). Property tests in
+``tests/test_rfinfer_properties.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.likelihood import TraceWindow
+from repro.sim.tags import EPC
+
+__all__ = ["ReferenceResult", "reference_rfinfer"]
+
+
+@dataclass
+class ReferenceResult:
+    """Output of the naive Algorithm 1."""
+
+    containment: dict[EPC, EPC | None]
+    posteriors: dict[EPC, np.ndarray]
+    weights: dict[EPC, dict[EPC, float]]
+    iterations: int
+
+
+def _readings_by_epoch(
+    window: TraceWindow, tag: EPC
+) -> dict[int, list[int]]:
+    by_row: dict[int, list[int]] = {}
+    rows, readers = window.tag_rows(tag)
+    for row, reader in zip(rows.tolist(), readers.tolist()):
+        by_row.setdefault(row, []).append(reader)
+    return by_row
+
+
+def reference_rfinfer(
+    window: TraceWindow,
+    objects: Sequence[EPC],
+    containers: Sequence[EPC],
+    initial_containment: Mapping[EPC, EPC | None] | None = None,
+    max_iterations: int = 10,
+) -> ReferenceResult:
+    """Run Algorithm 1 exactly as written (no pruning, no caching)."""
+    model = window.model
+    layout = window.layout
+    n_loc = model.n_states
+    n_rows = window.n_rows
+    epochs = window.epochs
+
+    obs = {tag: _readings_by_epoch(window, tag) for tag in [*objects, *containers]}
+
+    def tag_loglik(tag: EPC, row: int) -> np.ndarray:
+        """Vector over locations a of Σ_r log p(reading of tag | a)."""
+        key = layout.pattern_key(int(epochs[row]))
+        active = layout.active_readers(key)
+        fired = obs[tag].get(row, [])
+        vec = np.zeros(n_loc)
+        for reader in active:
+            if reader in fired:
+                vec += model.log_pi[reader]
+            else:
+                vec += model.log_miss[reader]
+        # Readings from inactive readers cannot occur by construction.
+        return vec
+
+    # Initial assignment: provided, else first container for everyone.
+    assignment: dict[EPC, EPC | None] = {}
+    for obj in objects:
+        if initial_containment and obj in initial_containment:
+            assignment[obj] = initial_containment[obj]
+        else:
+            assignment[obj] = containers[0] if containers else None
+
+    posteriors: dict[EPC, np.ndarray] = {}
+    weights: dict[EPC, dict[EPC, float]] = {o: {} for o in objects}
+    iterations = 0
+
+    for iterations in range(1, max_iterations + 1):
+        # E-step (lines 2-11): q_tc(a) for every epoch and container.
+        for container in containers:
+            members = [o for o in objects if assignment[o] == container]
+            q = np.zeros((n_rows, n_loc))
+            for row in range(n_rows):
+                log_vec = tag_loglik(container, row)
+                for obj in members:
+                    log_vec = log_vec + tag_loglik(obj, row)
+                stable = np.exp(log_vec - log_vec.max())
+                q[row] = stable / stable.sum()
+            posteriors[container] = q
+
+        # M-step (lines 12-20): w_co and argmax assignment.
+        new_assignment: dict[EPC, EPC | None] = {}
+        for obj in objects:
+            best: EPC | None = None
+            best_w = -np.inf
+            for container in containers:
+                q = posteriors[container]
+                w = 0.0
+                for row in range(n_rows):
+                    w += float(np.dot(q[row], tag_loglik(obj, row)))
+                weights[obj][container] = w
+                if w > best_w:
+                    best_w = w
+                    best = container
+            new_assignment[obj] = best if containers else None
+
+        if new_assignment == assignment:
+            break
+        assignment = new_assignment
+
+    return ReferenceResult(assignment, posteriors, weights, iterations)

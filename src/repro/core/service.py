@@ -1,0 +1,351 @@
+"""Streaming inference service (Fig. 3, §5.1).
+
+Runs RFINFER periodically (every ``run_interval`` epochs, default 300 as
+in §5.1) over a window chosen by the history-truncation policy:
+
+* ``"all"`` — the entire history so far (the paper's "Basic/All");
+* ``"window"`` — the most recent ``window_size`` epochs ("W1200");
+* ``"cr"`` — each object's critical region plus the recent history H̄
+  (the paper's CR method, §4.1).
+
+Each run updates containment estimates, optionally performs
+change-point detection, refreshes critical regions, and emits the
+object event stream that query processing consumes.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Literal, Mapping
+
+import numpy as np
+
+from repro.core.changepoint import ChangePoint, ChangePointDetector, calibrate_threshold
+from repro.core.collapsed import CollapsedState
+from repro.core.events import ObjectEvent
+from repro.core.likelihood import TraceWindow
+from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
+from repro.core.truncation import CriticalRegion, find_critical_region
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import Trace
+
+__all__ = ["ServiceConfig", "RunRecord", "StreamingInference"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the periodic inference service."""
+
+    run_interval: int = 300
+    recent_history: int = 600
+    truncation: Literal["all", "window", "cr"] = "cr"
+    window_size: int = 1200
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
+    change_detection: bool = False
+    change_threshold: float | None = None
+    cr_width: int = 60
+    cr_margin: float = 10.0
+    emit_events: bool = True
+    event_period: int = 1
+    keep_results: bool = True
+    calibration_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.run_interval < 1:
+            raise ValueError("run_interval must be positive")
+        if self.recent_history < self.run_interval:
+            raise ValueError(
+                "recent_history must cover at least one run interval, "
+                f"got H̄={self.recent_history} < interval={self.run_interval}"
+            )
+        if self.truncation not in ("all", "window", "cr"):
+            raise ValueError(f"unknown truncation policy {self.truncation!r}")
+
+
+@dataclass
+class RunRecord:
+    """Bookkeeping for one inference run at stream time ``time``."""
+
+    time: int
+    duration_seconds: float
+    containment: dict[EPC, EPC | None]
+    changes: list[ChangePoint]
+    window_rows: int
+    iterations: int
+    result: RFInferResult | None = None
+
+
+class StreamingInference:
+    """Periodic RFINFER over an (already materialized) reading stream.
+
+    The trace object holds all readings, but the service honours stream
+    discipline: a run at time T looks only at readings before T.
+    """
+
+    #: cap (in nats) on a migrated candidate's disadvantage — one good
+    #: co-location window at the new site can overrule the old estimate.
+    PRIOR_CLIP = 15.0
+
+    def __init__(self, trace: Trace, config: ServiceConfig | None = None) -> None:
+        self.trace = trace
+        self.config = config or ServiceConfig()
+        self.site = trace.site
+        self.containment: dict[EPC, EPC | None] = {}
+        self.valid_from: dict[EPC, int] = {}
+        self.critical_regions: dict[EPC, CriticalRegion] = {}
+        self.prior_weights: dict[EPC, dict[EPC, float]] = {}
+        self.changes: list[ChangePoint] = []
+        self.events: list[ObjectEvent] = []
+        self.runs: list[RunRecord] = []
+        #: tags whose containment is only a migrated seed (no local run
+        #: has estimated them yet) — excluded from EM initialization.
+        self._seeded_only: set[EPC] = set()
+        self.last_run_time = 0
+        self.total_inference_seconds = 0.0
+        self._threshold = self.config.change_threshold
+        self._detector: ChangePointDetector | None = None
+
+    # -- migration hooks (used by repro.distributed) ----------------------
+
+    def absorb_state(self, state: CollapsedState) -> None:
+        """Merge a migrated collapsed state into this site's priors.
+
+        The carried container estimate is used for *reporting* until the
+        first local run covers the object, but deliberately not as the
+        EM initialization: a wrong migrated estimate would seed a wrong
+        group whose posterior the object's own readings then sharpen —
+        a self-confirming local optimum that cascades across sites. The
+        migrated knowledge instead enters through the (bounded) prior
+        weights, which break ties without being able to overrule fresh
+        local co-location evidence.
+        """
+        merged = self.prior_weights.setdefault(state.tag, {})
+        for candidate, weight in state.weights.items():
+            merged[candidate] = merged.get(candidate, 0.0) + weight
+        if state.tag not in self.containment and state.container is not None:
+            self.containment[state.tag] = state.container
+            self._seeded_only.add(state.tag)
+        if state.changed_at is not None:
+            self.valid_from.setdefault(state.tag, state.changed_at)
+
+    def export_state(self, tag: EPC) -> CollapsedState:
+        """Collapse this site's inference state for ``tag`` to weights.
+
+        Weights are exported *relative to the best candidate* (best = 0,
+        others ≤ 0) and clipped to a bounded confidence. Raw w_co values
+        are log-likelihood sums whose magnitude grows with the window
+        size: shipped absolutely they would rank "absent from the
+        previous site's candidate set" (an implicit 0) above every
+        observed candidate, and shipped unclipped a *wrong* previous
+        estimate could outweigh any amount of bounded-window local
+        evidence forever — §4.1 requires that readings at the new place
+        "will eventually overrule the old weights".
+        """
+        weights = dict(self.prior_weights.get(tag, {}))
+        for record in reversed(self.runs):
+            if record.result is not None and tag in record.result.weights:
+                # The run's weights already include migrated priors.
+                weights = dict(record.result.weights[tag])
+                break
+        if weights:
+            peak = max(weights.values())
+            weights = {
+                cand: max(w - peak, -self.PRIOR_CLIP) for cand, w in weights.items()
+            }
+        return CollapsedState(
+            tag=tag,
+            weights=weights,
+            container=self.containment.get(tag),
+            changed_at=self.valid_from.get(tag),
+        )
+
+    # -- the periodic loop --------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        """The change-point threshold δ (calibrated lazily if unset)."""
+        if self._threshold is None:
+            self._threshold = calibrate_threshold(
+                self.trace.model,
+                self.trace.layout,
+                seed=self.config.calibration_seed,
+            )
+        return self._threshold
+
+    def run_until(self, horizon: int) -> None:
+        """Execute all scheduled runs with boundaries ≤ ``horizon``."""
+        boundary = self.last_run_time + self.config.run_interval
+        while boundary <= horizon:
+            self.run_at(boundary)
+            boundary = self.last_run_time + self.config.run_interval
+
+    def _window_epochs(self, now: int) -> np.ndarray:
+        config = self.config
+        if config.truncation == "all":
+            return np.arange(0, now, dtype=np.int64)
+        if config.truncation == "window":
+            return np.arange(max(0, now - config.window_size), now, dtype=np.int64)
+        ranges = [(max(0, now - config.recent_history), now)]
+        ranges.extend(cr.as_range() for cr in self.critical_regions.values())
+        pieces = [np.arange(max(s, 0), min(e, now), dtype=np.int64) for s, e in ranges]
+        return np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
+
+    def _object_ranges(self, obj: EPC, now: int) -> list[tuple[int, int]] | None:
+        config = self.config
+        floor = self.valid_from.get(obj, 0)
+        if config.truncation != "cr":
+            if floor == 0:
+                return None
+            return [(floor, now)]
+        ranges = [(max(0, now - config.recent_history), now)]
+        region = self.critical_regions.get(obj)
+        if region is not None:
+            ranges.append(region.as_range())
+        return [(max(s, floor), e) for s, e in ranges if e > max(s, floor)]
+
+    def run_at(self, now: int) -> RunRecord:
+        """One inference run at stream time ``now``."""
+        config = self.config
+        started = _time.perf_counter()
+        epochs = self._window_epochs(now)
+        if epochs.size == 0:
+            record = RunRecord(now, 0.0, dict(self.containment), [], 0, 0)
+            self.runs.append(record)
+            self.last_run_time = now
+            return record
+
+        window = TraceWindow(self.trace, epochs)
+        objects = window.tags(TagKind.ITEM)
+        containers = window.tags(TagKind.CASE)
+        object_ranges = {
+            obj: ranges
+            for obj in objects
+            if (ranges := self._object_ranges(obj, now)) is not None
+        }
+        initial = {
+            tag: container
+            for tag, container in self.containment.items()
+            if tag not in self._seeded_only
+        }
+        engine = RFInfer(
+            window,
+            config.inference,
+            objects=objects,
+            containers=containers,
+            initial_containment=initial,
+            prior_weights=self.prior_weights,
+            object_ranges=object_ranges,
+        )
+        result = engine.run()
+        self._seeded_only.difference_update(result.containment)
+
+        run_changes: list[ChangePoint] = []
+        if config.change_detection and config.inference.keep_evidence:
+            if self._detector is None or self._detector.threshold != self.threshold:
+                self._detector = ChangePointDetector(self.threshold)
+            for obj in objects:
+                change = self._detector.detect(
+                    result, obj, floor=self.valid_from.get(obj)
+                )
+                if change is not None:
+                    run_changes.append(change)
+                    self.changes.append(change)
+                    self.valid_from[obj] = change.time
+                    result.containment[obj] = change.new_container
+
+        self.containment.update(result.containment)
+
+        if config.truncation == "cr" and config.inference.keep_evidence:
+            for obj in objects:
+                region = find_critical_region(
+                    result,
+                    obj,
+                    width=config.cr_width,
+                    margin_threshold=config.cr_margin,
+                )
+                if region is not None:
+                    self.critical_regions[obj] = region
+
+        if config.emit_events:
+            self._emit_events(result, self.last_run_time, now)
+
+        duration = _time.perf_counter() - started
+        self.total_inference_seconds += duration
+        record = RunRecord(
+            time=now,
+            duration_seconds=duration,
+            containment=dict(self.containment),
+            changes=run_changes,
+            window_rows=window.n_rows,
+            iterations=result.iterations,
+            result=result if config.keep_results else None,
+        )
+        self.runs.append(record)
+        self.last_run_time = now
+        return record
+
+    # -- event stream --------------------------------------------------------
+
+    def _presence_span(self, tag: EPC, container: EPC | None, now: int) -> tuple[int, int] | None:
+        """Epoch span during which ``tag`` is considered on-site."""
+        first = self.trace.first_seen(tag)
+        last = self.trace.last_seen(tag)
+        if container is not None:
+            c_first = self.trace.first_seen(container)
+            c_last = self.trace.last_seen(container)
+            if c_first is not None:
+                first = c_first if first is None else min(first, c_first)
+            if c_last is not None:
+                last = c_last if last is None else max(last, c_last)
+        if first is None or last is None:
+            return None
+        return first, min(last, now - 1)
+
+    def _emit_events(self, result: RFInferResult, start: int, now: int) -> None:
+        config = self.config
+        window = result.window
+        epochs = window.epochs
+        lo = int(np.searchsorted(epochs, start))
+        hi = int(np.searchsorted(epochs, now))
+        if hi <= lo:
+            return
+        rows = np.arange(lo, hi)
+        row_epochs = epochs[rows]
+        keep = (row_epochs - start) % config.event_period == 0
+        rows, row_epochs = rows[keep], row_epochs[keep]
+        tags = window.tags(TagKind.ITEM) + window.tags(TagKind.CASE)
+        batch: list[ObjectEvent] = []
+        for tag in tags:
+            container = result.containment.get(tag)
+            span = self._presence_span(tag, container, now)
+            if span is None:
+                continue
+            locations = result.location_rows(tag)
+            inside = (row_epochs >= span[0]) & (row_epochs <= span[1])
+            for row, epoch in zip(rows[inside], row_epochs[inside]):
+                place = int(locations[row])
+                if place < 0:
+                    continue  # estimated away: the object is not on site
+                batch.append(
+                    ObjectEvent(
+                        time=int(epoch),
+                        tag=tag,
+                        site=self.site,
+                        place=place,
+                        container=container,
+                    )
+                )
+        # Runs advance monotonically, so per-run sorting keeps the whole
+        # event stream time-ordered for downstream query processing.
+        batch.sort(key=lambda e: (e.time, e.tag))
+        self.events.extend(batch)
+
+    # -- accessors -------------------------------------------------------------
+
+    def containment_at(self, tag: EPC) -> EPC | None:
+        return self.containment.get(tag)
+
+    def retained_epoch_count(self, now: int) -> int:
+        """Size of the reading window the next run would process."""
+        return int(self._window_epochs(now).size)

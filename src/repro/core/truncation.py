@@ -1,0 +1,98 @@
+"""History truncation via critical regions (§4.1).
+
+"Our history truncation algorithm aims to find a time period, called
+the critical region, whose observations are most informative for
+determining containment." The search slides a small window over time;
+a window where the best candidate's point evidence exceeds the
+second-best's by a threshold margin is a critical region, and the most
+recent such window wins. Readings outside the critical region and the
+recent history H̄ are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rfinfer import RFInferResult
+from repro.sim.tags import EPC
+
+__all__ = ["CriticalRegion", "find_critical_region", "find_all_critical_regions"]
+
+
+@dataclass(frozen=True)
+class CriticalRegion:
+    """An epoch range [start, end) retained for future inference."""
+
+    start: int
+    end: int
+
+    def as_range(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+    def __contains__(self, epoch: int) -> bool:
+        return self.start <= epoch < self.end
+
+
+def find_critical_region(
+    result: RFInferResult,
+    tag: EPC,
+    width: int = 60,
+    stride: int | None = None,
+    margin_threshold: float = 10.0,
+) -> CriticalRegion | None:
+    """Find the most recent critical region for ``tag``.
+
+    Slides a window of ``width`` epochs (step ``stride``, default half
+    the width) across the inference window; within each, sums the point
+    evidence per candidate container and compares the best against the
+    second best. The *last* window whose margin exceeds
+    ``margin_threshold`` is returned (later evidence supersedes earlier
+    per the paper's overwrite rule). Returns None when the object has
+    fewer than two candidates or no window discriminates.
+    """
+    if result.evidence is None:
+        raise ValueError("inference ran with keep_evidence=False")
+    tracks = result.evidence.get(tag)
+    if tracks is None or len(tracks) < 2:
+        return None
+    if stride is None:
+        stride = max(width // 2, 1)
+
+    epochs = result.window.epochs
+    matrix = np.stack(list(tracks.values()))  # (n_candidates, n_rows)
+    cum = np.concatenate(
+        [np.zeros((matrix.shape[0], 1)), np.cumsum(matrix, axis=1)], axis=1
+    )
+    first, last = int(epochs[0]), int(epochs[-1])
+    best_region: CriticalRegion | None = None
+    for start in range(first, last + 1, stride):
+        end = start + width
+        lo = int(np.searchsorted(epochs, start))
+        hi = int(np.searchsorted(epochs, end))
+        if hi <= lo:
+            continue
+        sums = cum[:, hi] - cum[:, lo]
+        top_two = np.partition(sums, -2)[-2:]
+        margin = float(top_two[1] - top_two[0])
+        if margin > margin_threshold:
+            best_region = CriticalRegion(start, min(end, last + 1))
+    return best_region
+
+
+def find_all_critical_regions(
+    result: RFInferResult,
+    width: int = 60,
+    stride: int | None = None,
+    margin_threshold: float = 10.0,
+) -> dict[EPC, CriticalRegion]:
+    """Critical regions for every object that has one."""
+    regions: dict[EPC, CriticalRegion] = {}
+    if result.evidence is None:
+        raise ValueError("inference ran with keep_evidence=False")
+    for tag in result.evidence:
+        region = find_critical_region(result, tag, width, stride, margin_threshold)
+        if region is not None:
+            regions[tag] = region
+    return regions

@@ -1,0 +1,35 @@
+"""Distributed inference and query processing (§4, Fig. 3).
+
+Each site runs inference and query processing on its local streams;
+when an object moves between sites its inference state (collapsed
+co-location weights) and query state (pattern automaton state) migrate:
+
+* :mod:`repro.distributed.network` — message passing with per-kind byte
+  accounting (Table 5's communication costs);
+* :mod:`repro.distributed.ons` — the Object Naming Service locating an
+  object's previous site;
+* :mod:`repro.distributed.tagmem` — writable tag memory (migration
+  strategy iii);
+* :mod:`repro.distributed.sharing` — centroid-based query-state sharing;
+* :mod:`repro.distributed.coordinator` — the multi-site deployment with
+  ``none`` / ``collapsed`` (CR) migration strategies;
+* :mod:`repro.distributed.centralized` — the centralized baseline that
+  ships gzip-compressed raw readings to one processing site.
+"""
+
+from repro.distributed.centralized import CentralizedDeployment
+from repro.distributed.coordinator import DistributedDeployment
+from repro.distributed.network import Network
+from repro.distributed.ons import ObjectNamingService
+from repro.distributed.sharing import SharedStateBundle, centroid_compress
+from repro.distributed.tagmem import TagMemory
+
+__all__ = [
+    "CentralizedDeployment",
+    "DistributedDeployment",
+    "Network",
+    "ObjectNamingService",
+    "SharedStateBundle",
+    "TagMemory",
+    "centroid_compress",
+]

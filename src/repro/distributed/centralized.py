@@ -1,0 +1,153 @@
+"""Centralized baseline: ship every raw reading to one site (§5.3).
+
+"For the centralized approach, we assume that all raw data is shipped
+to a central location for inference with simple gzip compression of
+data" (Appendix C.5). The central site sees one merged trace whose
+location domain is the disjoint union of every site's reader set, and
+runs the very same streaming inference over it. Accuracy is the best
+achievable (full data, global view); the communication cost is the
+gzip-compressed reading stream — three orders of magnitude above the
+collapsed-state migration (Table 5).
+"""
+
+from __future__ import annotations
+
+import gzip
+
+import numpy as np
+
+from repro._util.encoding import ByteWriter
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.distributed.network import Network
+from repro.metrics.accuracy import service_containment_error, service_location_error
+from repro.sim.layout import Layout
+from repro.sim.readers import ReadRateModel
+from repro.sim.supplychain import SupplyChainResult
+from repro.sim.trace import AWAY, GroundTruth, Location, Reading, Trace
+
+__all__ = ["CentralizedDeployment", "encode_readings", "merge_sites"]
+
+#: the central server's synthetic site id in the cost ledger.
+CENTER = -1
+
+
+def encode_readings(readings: list[Reading]) -> bytes:
+    """Wire encoding of a raw reading batch (then gzipped).
+
+    Appendix C.5 ships "all raw data ... with simple gzip compression":
+    each reading is a plain fixed-width record (8-byte epoch, 1-byte tag
+    kind, 4-byte serial, 2-byte reader id), mirroring the (time, tag id,
+    reader id) tuples readers actually produce — no clever columnar or
+    delta encoding, exactly as the baseline is described.
+    """
+    import struct
+
+    writer = ByteWriter()
+    writer.varint(len(readings))
+    for reading in sorted(readings):
+        writer.raw(
+            struct.pack(
+                "<qBIH",
+                reading.time,
+                int(reading.tag.kind),
+                reading.tag.serial,
+                reading.reader,
+            )
+        )
+    return writer.getvalue()
+
+
+def merge_sites(result: SupplyChainResult) -> tuple[Trace, GroundTruth, list[int]]:
+    """Fuse per-site traces into one global trace.
+
+    Reader/location indices are offset per site; the merged read-rate
+    matrix is block-diagonal (a reader never sees tags at another
+    site). Ground truth is remapped into the merged location domain so
+    the standard metrics apply unchanged.
+    """
+    offsets: list[int] = []
+    specs = []
+    total = 0
+    for site, layout in enumerate(result.layouts):
+        offsets.append(total)
+        for spec in layout.specs:
+            specs.append(
+                type(spec)(
+                    name=f"s{site}/{spec.name}",
+                    kind=spec.kind,
+                    period=spec.period,
+                    phase=spec.phase,
+                    burst=spec.burst,
+                )
+            )
+        total += layout.n_locations
+    merged_layout = Layout("central", specs)
+    epsilon = result.models[0].epsilon
+    pi = np.full((total, total), epsilon)
+    for site, model in enumerate(result.models):
+        off = offsets[site]
+        n = model.layout.n_locations
+        pi[off : off + n, off : off + n] = model.pi
+    merged_model = ReadRateModel(merged_layout, pi, epsilon)
+
+    readings = [
+        Reading(r.time, r.tag, offsets[trace.site] + r.reader)
+        for trace in result.traces
+        for r in trace.readings
+    ]
+    horizon = result.params.horizon
+    merged_trace = Trace(0, merged_layout, merged_model, readings, horizon)
+
+    merged_truth = GroundTruth()
+    merged_truth.horizon = result.truth.horizon
+    for tag, imap in result.truth.locations.items():
+        for time, loc in imap.breakpoints():
+            if loc is None or loc == AWAY or loc.site < 0:
+                merged_truth.record_location(tag, time, AWAY)
+            else:
+                merged_truth.record_location(
+                    tag, time, Location(0, offsets[loc.site] + loc.place)
+                )
+    for tag, imap in result.truth.containment.items():
+        for time, container in imap.breakpoints():
+            merged_truth.record_container(tag, time, container)
+    merged_truth.changes = list(result.truth.changes)
+    return merged_trace, merged_truth, offsets
+
+
+class CentralizedDeployment:
+    """All raw readings shipped to one site; one global inference."""
+
+    def __init__(
+        self,
+        result: SupplyChainResult,
+        config: ServiceConfig | None = None,
+        network: Network | None = None,
+    ) -> None:
+        self.result = result
+        self.config = config or ServiceConfig(emit_events=False)
+        self.network = network if network is not None else Network()
+        self.trace, self.truth, self.offsets = merge_sites(result)
+        self.service = StreamingInference(self.trace, self.config)
+
+    def run(self, horizon: int | None = None) -> None:
+        if horizon is None:
+            horizon = self.result.params.horizon
+        interval = self.config.run_interval
+        for boundary in range(interval, horizon + 1, interval):
+            for trace in self.result.traces:
+                batch = list(trace.readings_in(boundary - interval, boundary))
+                if not batch:
+                    continue
+                payload = gzip.compress(encode_readings(batch))
+                self.network.send(trace.site, CENTER, "raw-readings", payload)
+            self.service.run_at(boundary)
+
+    def containment_error(self) -> float:
+        return service_containment_error(self.truth, self.service)
+
+    def location_error(self) -> float:
+        return service_location_error(self.truth, self.service)
+
+    def communication_bytes(self) -> int:
+        return self.network.total_bytes()

@@ -1,0 +1,48 @@
+"""Object Naming Service (§4, migration strategy ii).
+
+"When an object reaches a new site, the server there can locate the
+object's previous place using the Object Naming Service (ONS) and
+retrieve its state from that place."
+
+The registry maps tag → last known site. Lookups and updates are tiny
+messages; they are still accounted through the network so the CR
+strategy's cost includes its control traffic.
+"""
+
+from __future__ import annotations
+
+from repro._util.encoding import ByteWriter
+from repro.distributed.network import Network
+from repro.sim.tags import EPC
+
+__all__ = ["ObjectNamingService"]
+
+#: the ONS server's synthetic site id in the cost ledger.
+ONS_SITE = -2
+
+
+class ObjectNamingService:
+    """Central registry of each object's current site."""
+
+    def __init__(self, network: Network | None = None) -> None:
+        self.network = network
+        self._registry: dict[EPC, int] = {}
+
+    def _record(self, actor_site: int, kind: str, tag: EPC) -> None:
+        if self.network is None:
+            return
+        payload = ByteWriter().varint(int(tag.kind)).varint(tag.serial).getvalue()
+        self.network.send(actor_site, ONS_SITE, kind, payload)
+
+    def update(self, tag: EPC, site: int) -> None:
+        """Record that ``tag`` is now handled by ``site``."""
+        self._record(site, "ons-update", tag)
+        self._registry[tag] = site
+
+    def lookup(self, tag: EPC, asking_site: int) -> int | None:
+        """Return the site previously responsible for ``tag``."""
+        self._record(asking_site, "ons-lookup", tag)
+        return self._registry.get(tag)
+
+    def __len__(self) -> int:
+        return len(self._registry)

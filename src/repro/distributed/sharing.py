@@ -1,0 +1,151 @@
+"""Centroid-based query-state sharing (§4.2, Appendix B).
+
+"We choose the most representative query state (the centroid) of all
+Qo's based on a distance function that counts the number of bytes that
+differ in the query state of two objects. ... Given the centroid, we
+compress the query states of other objects based on the distance to
+the centroid."
+
+Objects leaving in the same container share most of their automaton
+state (same stage, similar timestamps, similar collected values), so
+encoding each non-centroid state as a byte-level diff against the
+centroid shrinks the migrated bundle by roughly the 10× the paper's
+§5.4 table reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.sim.tags import EPC, TagKind
+
+__all__ = ["byte_distance", "state_diff", "apply_diff", "SharedStateBundle", "centroid_compress"]
+
+
+def byte_distance(a: bytes, b: bytes) -> int:
+    """Number of differing bytes between two states (the paper's
+    distance function): total length minus twice the matched bytes."""
+    matcher = SequenceMatcher(None, a, b, autojunk=False)
+    matched = sum(block.size for block in matcher.get_matching_blocks())
+    return (len(a) - matched) + (len(b) - matched)
+
+
+def state_diff(base: bytes, target: bytes) -> bytes:
+    """Encode ``target`` as edit operations against ``base``.
+
+    Wire format per opcode: ``op (varint: 0=copy, 1=insert, 2=whole
+    state identical to base)`` followed by ``start,len`` varints for
+    copies or ``len + literal bytes`` for inserts. The identical case
+    gets its own one-byte opcode because quiescent automaton states are
+    byte-for-byte equal across most objects of a container.
+    """
+    if target == base:
+        return ByteWriter().varint(2).getvalue()
+    writer = ByteWriter()
+    matcher = SequenceMatcher(None, base, target, autojunk=False)
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            writer.varint(0).varint(i1).varint(i2 - i1)
+        elif tag in ("replace", "insert"):
+            writer.varint(1).blob(target[j1:j2])
+        # deletions need no output: absent copies skip base bytes.
+    return writer.getvalue()
+
+
+def apply_diff(base: bytes, diff: bytes) -> bytes:
+    """Reconstruct the target state from a base and its diff."""
+    reader = ByteReader(diff)
+    out = bytearray()
+    while not reader.exhausted():
+        op = reader.varint()
+        if op == 0:
+            start = reader.varint()
+            length = reader.varint()
+            out.extend(base[start : start + length])
+        elif op == 1:
+            out.extend(reader.blob())
+        elif op == 2:
+            return bytes(base)
+        else:
+            raise ValueError(f"unknown diff opcode {op}")
+    return bytes(out)
+
+
+def _write_epc(writer: ByteWriter, tag: EPC) -> None:
+    writer.varint(int(tag.kind)).varint(tag.serial)
+
+
+def _read_epc(reader: ByteReader) -> EPC:
+    return EPC(TagKind(reader.varint()), reader.varint())
+
+
+@dataclass
+class SharedStateBundle:
+    """A centroid plus per-object diffs, ready for the wire."""
+
+    centroid_tag: EPC
+    centroid_state: bytes
+    diffs: dict[EPC, bytes]
+
+    def to_bytes(self) -> bytes:
+        writer = ByteWriter()
+        _write_epc(writer, self.centroid_tag)
+        writer.blob(self.centroid_state)
+        writer.varint(len(self.diffs))
+        for tag in sorted(self.diffs):
+            _write_epc(writer, tag)
+            writer.blob(self.diffs[tag])
+        return writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SharedStateBundle":
+        reader = ByteReader(data)
+        centroid_tag = _read_epc(reader)
+        centroid_state = reader.blob()
+        count = reader.varint()
+        diffs: dict[EPC, bytes] = {}
+        for _ in range(count):
+            tag = _read_epc(reader)
+            diffs[tag] = reader.blob()
+        return cls(centroid_tag, centroid_state, diffs)
+
+    def byte_size(self) -> int:
+        return len(self.to_bytes())
+
+    def reconstruct(self) -> dict[EPC, bytes]:
+        """Recover every object's exact state (lossless)."""
+        states = {self.centroid_tag: self.centroid_state}
+        for tag, diff in self.diffs.items():
+            states[tag] = apply_diff(self.centroid_state, diff)
+        return states
+
+
+def centroid_compress(states: dict[EPC, bytes]) -> SharedStateBundle:
+    """Pick the centroid (minimum total byte distance, O(n²)) and diff
+    every other state against it."""
+    if not states:
+        raise ValueError("no states to compress")
+    tags = sorted(states)
+    if len(tags) == 1:
+        only = tags[0]
+        return SharedStateBundle(only, states[only], {})
+    best_tag = tags[0]
+    best_cost = None
+    for candidate in tags:
+        cost = sum(
+            byte_distance(states[candidate], states[other])
+            for other in tags
+            if other != candidate
+        )
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_tag = candidate
+    centroid_state = states[best_tag]
+    diffs = {
+        tag: state_diff(centroid_state, states[tag])
+        for tag in tags
+        if tag != best_tag
+    }
+    return SharedStateBundle(best_tag, centroid_state, diffs)

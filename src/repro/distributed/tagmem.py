@@ -1,0 +1,50 @@
+"""Writable tag memory (§4, migration strategy iii).
+
+Passive tags carry 4–64 KB of writable memory; writing an object's
+inference + query state onto its own tag makes the state available
+"anytime anywhere" with zero network cost (a copy stays at the writing
+site as backup). This module models the tag's memory budget so the
+strategy's feasibility can be evaluated: collapsed inference state plus
+pattern state is a few dozen bytes, far below even the smallest tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.tags import EPC
+
+__all__ = ["TagMemory", "TagMemoryError"]
+
+
+class TagMemoryError(RuntimeError):
+    """Raised when a write exceeds the tag's memory budget."""
+
+
+@dataclass
+class TagMemory:
+    """On-tag key→bytes storage with a capacity budget."""
+
+    capacity_bytes: int = 4096
+    _sections: dict[EPC, dict[str, bytes]] = field(default_factory=dict)
+
+    def write(self, tag: EPC, section: str, data: bytes) -> None:
+        sections = self._sections.setdefault(tag, {})
+        projected = sum(
+            len(v) for k, v in sections.items() if k != section
+        ) + len(data)
+        if projected > self.capacity_bytes:
+            raise TagMemoryError(
+                f"{tag}: {projected} bytes exceeds tag capacity "
+                f"{self.capacity_bytes}"
+            )
+        sections[section] = data
+
+    def read(self, tag: EPC, section: str) -> bytes | None:
+        return self._sections.get(tag, {}).get(section)
+
+    def used(self, tag: EPC) -> int:
+        return sum(len(v) for v in self._sections.get(tag, {}).values())
+
+    def erase(self, tag: EPC) -> None:
+        self._sections.pop(tag, None)

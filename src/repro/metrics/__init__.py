@@ -1,0 +1,28 @@
+"""Evaluation metrics (Appendix C.1).
+
+* error rates for containment and location inference,
+* precision/recall/F-measure for change detection and query answers,
+* communication- and state-size cost accounting helpers.
+"""
+
+from repro.metrics.accuracy import (
+    containment_error_rate,
+    location_error_rate,
+    service_containment_error,
+    service_location_error,
+)
+from repro.metrics.fmeasure import (
+    FMeasure,
+    change_detection_fmeasure,
+    match_alerts,
+)
+
+__all__ = [
+    "FMeasure",
+    "change_detection_fmeasure",
+    "containment_error_rate",
+    "location_error_rate",
+    "match_alerts",
+    "service_containment_error",
+    "service_location_error",
+]

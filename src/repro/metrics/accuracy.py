@@ -1,0 +1,153 @@
+"""Containment and location error rates (Appendix C.1).
+
+"To measure accuracy, we compare the inference results with the ground
+truth and compute the error rate."
+
+Containment error — the fraction of items whose inferred container
+differs from the true container (evaluated at a reference epoch).
+
+Location error — the fraction of (tag, epoch) pairs, among epochs where
+the tag was truly present at the site, whose MAP location estimate
+differs from the true place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.rfinfer import RFInferResult
+from repro.core.service import StreamingInference
+from repro.sim.tags import EPC
+from repro.sim.trace import GroundTruth
+
+__all__ = [
+    "containment_error_rate",
+    "location_error_rate",
+    "service_containment_error",
+    "service_location_error",
+]
+
+
+def containment_error_rate(
+    truth: GroundTruth,
+    containment: Mapping[EPC, EPC | None],
+    at_time: int,
+    objects: Sequence[EPC] | None = None,
+) -> float:
+    """Fraction of objects whose estimated container is wrong at ``at_time``."""
+    if objects is None:
+        objects = truth.items()
+    if not objects:
+        return 0.0
+    wrong = sum(
+        1 for obj in objects if containment.get(obj) != truth.container_at(obj, at_time)
+    )
+    return wrong / len(objects)
+
+
+def location_error_rate(
+    truth: GroundTruth,
+    result: RFInferResult,
+    site: int,
+    tags: Iterable[EPC] | None = None,
+    epoch_range: tuple[int, int] | None = None,
+) -> float:
+    """Location error over one RFINFER result's window.
+
+    Counts (tag, epoch) pairs where the tag was truly at ``site``; the
+    estimate errs when the MAP place differs from the true place.
+    """
+    window = result.window
+    epochs = window.epochs
+    if epoch_range is not None:
+        mask = (epochs >= epoch_range[0]) & (epochs < epoch_range[1])
+    else:
+        mask = np.ones(epochs.size, dtype=bool)
+    if tags is None:
+        tags = sorted(set(truth.items()) | set(truth.cases()))
+    total = 0
+    wrong = 0
+    for tag in tags:
+        imap = truth.locations.get(tag)
+        if imap is None:
+            continue
+        estimates = None
+        for seg_start, seg_end, loc in imap.segments(int(epochs[0]), int(epochs[-1]) + 1):
+            if loc is None or loc.site != site:
+                continue
+            seg_mask = mask & (epochs >= seg_start) & (epochs < seg_end)
+            count = int(seg_mask.sum())
+            if count == 0:
+                continue
+            if estimates is None:
+                estimates = result.location_rows(tag)
+            total += count
+            wrong += int((estimates[seg_mask] != loc.place).sum())
+    return wrong / total if total else 0.0
+
+
+def service_containment_error(
+    truth: GroundTruth,
+    service: StreamingInference,
+    objects: Sequence[EPC] | None = None,
+    runs: Sequence[int] | None = None,
+) -> float:
+    """Average containment error across a service's runs.
+
+    Each run's estimate snapshot is scored against the truth at that
+    run's stream time; the result is the mean over runs (the paper
+    reports steady-state error of the periodically refreshed estimate).
+    """
+    records = service.runs if runs is None else [service.runs[i] for i in runs]
+    scored = [
+        containment_error_rate(truth, record.containment, record.time - 1, objects)
+        for record in records
+        if record.window_rows > 0
+    ]
+    return float(np.mean(scored)) if scored else 0.0
+
+
+def service_location_error(
+    truth: GroundTruth,
+    service: StreamingInference,
+    tags: Iterable[EPC] | None = None,
+) -> float:
+    """Location error over every epoch interval each run covered.
+
+    Run r is responsible for the stream interval (T_{r-1}, T_r]; pairs
+    are pooled across runs so the rate weights epochs uniformly.
+    """
+    total = 0
+    wrong = 0
+    previous = 0
+    site = service.site
+    tag_list = (
+        sorted(set(truth.items()) | set(truth.cases())) if tags is None else list(tags)
+    )
+    for record in service.runs:
+        result = record.result
+        if result is None or record.window_rows == 0:
+            previous = record.time
+            continue
+        epochs = result.window.epochs
+        mask = (epochs >= previous) & (epochs < record.time)
+        for tag in tag_list:
+            imap = truth.locations.get(tag)
+            if imap is None:
+                continue
+            estimates = None
+            for seg_start, seg_end, loc in imap.segments(previous, record.time):
+                if loc is None or loc.site != site:
+                    continue
+                seg_mask = mask & (epochs >= seg_start) & (epochs < seg_end)
+                count = int(seg_mask.sum())
+                if count == 0:
+                    continue
+                if estimates is None:
+                    estimates = result.location_rows(tag)
+                total += count
+                wrong += int((estimates[seg_mask] != loc.place).sum())
+        previous = record.time
+    return wrong / total if total else 0.0

@@ -1,0 +1,108 @@
+"""Precision / recall / F-measure scoring (Appendix C.1).
+
+"We use precision to capture the percentage of reported changes that
+are consistent with the ground truth, and recall to capture the
+percentage of changes in the ground truth that are reported by our
+algorithm."
+
+The same matcher scores query alerts (§5.4): predicted and true alerts
+match when they concern the same object within a time tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.core.changepoint import ChangePoint
+from repro.sim.trace import ContainmentChange
+
+__all__ = ["FMeasure", "match_alerts", "change_detection_fmeasure"]
+
+
+@dataclass(frozen=True)
+class FMeasure:
+    """Precision/recall summary."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    predicted: int
+    actual: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    @classmethod
+    def from_counts(cls, true_positives: int, predicted: int, actual: int) -> "FMeasure":
+        precision = true_positives / predicted if predicted else 0.0
+        recall = true_positives / actual if actual else 0.0
+        return cls(precision, recall, true_positives, predicted, actual)
+
+
+def match_alerts(
+    predicted: Sequence[tuple[Hashable, int]],
+    actual: Sequence[tuple[Hashable, int]],
+    tolerance: int,
+) -> FMeasure:
+    """Greedy one-to-one matching of (key, time) alerts.
+
+    A predicted alert matches an unmatched actual alert with the same
+    key whose time differs by at most ``tolerance``; each actual alert
+    is consumed at most once (closest-time first).
+    """
+    remaining: dict[Hashable, list[int]] = {}
+    for key, time in actual:
+        remaining.setdefault(key, []).append(time)
+    for times in remaining.values():
+        times.sort()
+    hits = 0
+    for key, time in sorted(predicted, key=lambda p: p[1]):
+        times = remaining.get(key)
+        if not times:
+            continue
+        best = min(range(len(times)), key=lambda i: abs(times[i] - time))
+        if abs(times[best] - time) <= tolerance:
+            times.pop(best)
+            hits += 1
+    return FMeasure.from_counts(hits, len(predicted), len(actual))
+
+
+def change_detection_fmeasure(
+    true_changes: Sequence[ContainmentChange],
+    detected: Sequence[ChangePoint],
+    tolerance: int = 300,
+    require_container: bool = False,
+    container_check: Callable[[ChangePoint, ContainmentChange], bool] | None = None,
+) -> FMeasure:
+    """Score detected change points against injected ground truth.
+
+    With ``require_container``, a match additionally requires the
+    detector's new-container estimate to agree with the ground truth
+    (removals must be flagged as removals).
+    """
+    if require_container and container_check is None:
+        container_check = lambda cp, tc: cp.new_container == tc.new_container
+
+    remaining = list(true_changes)
+    hits = 0
+    for change in sorted(detected, key=lambda c: c.time):
+        best_idx = -1
+        best_gap = tolerance + 1
+        for idx, candidate in enumerate(remaining):
+            if candidate.tag != change.tag:
+                continue
+            gap = abs(candidate.time - change.time)
+            if gap > tolerance or gap >= best_gap:
+                continue
+            if require_container and not container_check(change, candidate):
+                continue
+            best_idx = idx
+            best_gap = gap
+        if best_idx >= 0:
+            remaining.pop(best_idx)
+            hits += 1
+    return FMeasure.from_counts(hits, len(detected), len(true_changes))

@@ -1,0 +1,21 @@
+"""The paper's monitoring queries (§2, §5.4).
+
+* :mod:`repro.queries.q1` — Query 1: alert when a frozen product sits
+  outside a freezer at room temperature for the exposure duration
+  (hybrid query: containment + location + temperature).
+* :mod:`repro.queries.q2` — Query 2: alert when a frozen product is
+  exposed to temperature above a threshold for a duration (location
+  only, §5.4).
+* :mod:`repro.queries.tracking` — a tracking query: report pallets/cases
+  deviating from their intended path (§1's tracking query class).
+"""
+
+from repro.queries.q1 import FreezerExposureQuery
+from repro.queries.q2 import TemperatureExposureQuery
+from repro.queries.tracking import PathDeviationQuery
+
+__all__ = [
+    "FreezerExposureQuery",
+    "PathDeviationQuery",
+    "TemperatureExposureQuery",
+]

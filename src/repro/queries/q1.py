@@ -1,0 +1,110 @@
+"""Query 1 (§2): freezer-exposure monitoring (hybrid query).
+
+::
+
+    Select tag_id, A[].temp
+    From ( Select Rstream(R.tag_id, R.loc, T.temp)
+           From Products [Now] as R,
+                Temperature [Partition By sensor Rows 1] as T
+           Where (!(R.container IsA 'freezer') or R.container = NULL)
+                 and R.loc = T.loc and T.temp > 0 °C
+         ) As Global Stream S
+    [ Pattern SEQ(A+)
+      Where A[i].tag_id = A[1].tag_id and
+            A[A.len].time > A[1].time + 6 hrs ]
+
+The inner block is local processing (events × latest temperature per
+sensor); the outer pattern block consumes the *global* stream S, so its
+per-object automaton state migrates between sites (Appendix B). The
+6-hour constant is a parameter here because reproduction traces are
+minutes long, not days.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, NamedTuple
+
+from repro.core.events import ObjectEvent
+from repro.sim.sensors import SensorReading
+from repro.streams.operators import LatestByKey
+from repro.streams.pattern import KleeneDurationPattern, PatternAlert, PatternState
+from repro.streams.state import decode_pattern_state, encode_pattern_state
+from repro.sim.tags import EPC
+from repro.workloads.catalog import ProductCatalog
+
+__all__ = ["FreezerExposureQuery", "ExposureTuple"]
+
+
+class ExposureTuple(NamedTuple):
+    """One tuple of the inner query's output stream S."""
+
+    time: int
+    tag: EPC
+    place: int
+    temp: float
+
+
+class FreezerExposureQuery:
+    """Continuous evaluation of Query 1 over merged event/sensor streams."""
+
+    def __init__(
+        self,
+        catalog: ProductCatalog,
+        exposure_duration: int = 300,
+        temp_threshold: float = 0.0,
+    ) -> None:
+        self.catalog = catalog
+        self.temp_threshold = temp_threshold
+        # Temperature [Partition By sensor Rows 1]
+        self.temperature = LatestByKey(lambda s: (s.site, s.sensor))
+        # Pattern SEQ(A+) over the global stream, partitioned by tag id.
+        self.pattern = KleeneDurationPattern(
+            key_fn=lambda s: s.tag,
+            time_fn=lambda s: s.time,
+            value_fn=lambda s: s.temp,
+            duration=exposure_duration,
+        )
+
+    # -- stream handlers ----------------------------------------------------
+
+    def on_sensor(self, reading: SensorReading) -> None:
+        self.temperature.push(reading)
+
+    def on_event(self, event: ObjectEvent) -> None:
+        if not self.catalog.is_frozen_product(event.tag):
+            return
+        if self.catalog.is_freezer(event.container):
+            # Back under refrigeration: the exposure run is broken.
+            self.pattern.reset_key(event.tag, event.time)
+            return
+        reading = self.temperature.lookup((event.site, event.place))
+        if reading is None:
+            return
+        if reading.temp > self.temp_threshold:
+            self.pattern.push(
+                ExposureTuple(event.time, event.tag, event.place, reading.temp)
+            )
+        else:
+            # Measurably cold (e.g. a freezer location): not exposed.
+            self.pattern.reset_key(event.tag, event.time)
+
+    # -- results and migrated state ------------------------------------------
+
+    @property
+    def alerts(self) -> list[PatternAlert]:
+        return self.pattern.alerts
+
+    def alert_pairs(self) -> list[tuple[Hashable, int]]:
+        """(tag, alert time) pairs for F-measure scoring."""
+        return [(alert.key, alert.end_time) for alert in self.alerts]
+
+    def export_state(self, tag: EPC) -> bytes | None:
+        state = self.pattern.export_state(tag)
+        return None if state is None else encode_pattern_state(state)
+
+    def import_state(self, tag: EPC, data: bytes) -> None:
+        self.pattern.import_state(tag, decode_pattern_state(data))
+
+    def active_states(self) -> dict[EPC, PatternState]:
+        """Per-object automaton states currently held (for sharing)."""
+        return dict(self.pattern.states)

@@ -1,0 +1,75 @@
+"""Query 2 (§5.4): temperature-exposure monitoring (location only).
+
+"Q2 ... reports the frozen food that has been exposed to temperature
+over 10 degrees for 10 hours." Unlike Q1 it never consults the inferred
+container — which is why §5.4 finds its accuracy higher: location
+inference is more accurate than containment inference.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.events import ObjectEvent
+from repro.queries.q1 import ExposureTuple
+from repro.sim.sensors import SensorReading
+from repro.sim.tags import EPC
+from repro.streams.operators import LatestByKey
+from repro.streams.pattern import KleeneDurationPattern, PatternAlert, PatternState
+from repro.streams.state import decode_pattern_state, encode_pattern_state
+from repro.workloads.catalog import ProductCatalog
+
+__all__ = ["TemperatureExposureQuery"]
+
+
+class TemperatureExposureQuery:
+    """Continuous evaluation of Query 2."""
+
+    def __init__(
+        self,
+        catalog: ProductCatalog,
+        exposure_duration: int = 400,
+        temp_threshold: float = 10.0,
+    ) -> None:
+        self.catalog = catalog
+        self.temp_threshold = temp_threshold
+        self.temperature = LatestByKey(lambda s: (s.site, s.sensor))
+        self.pattern = KleeneDurationPattern(
+            key_fn=lambda s: s.tag,
+            time_fn=lambda s: s.time,
+            value_fn=lambda s: s.temp,
+            duration=exposure_duration,
+        )
+
+    def on_sensor(self, reading: SensorReading) -> None:
+        self.temperature.push(reading)
+
+    def on_event(self, event: ObjectEvent) -> None:
+        if not self.catalog.is_frozen_product(event.tag):
+            return
+        reading = self.temperature.lookup((event.site, event.place))
+        if reading is None:
+            return
+        if reading.temp > self.temp_threshold:
+            self.pattern.push(
+                ExposureTuple(event.time, event.tag, event.place, reading.temp)
+            )
+        else:
+            self.pattern.reset_key(event.tag, event.time)
+
+    @property
+    def alerts(self) -> list[PatternAlert]:
+        return self.pattern.alerts
+
+    def alert_pairs(self) -> list[tuple[Hashable, int]]:
+        return [(alert.key, alert.end_time) for alert in self.alerts]
+
+    def export_state(self, tag: EPC) -> bytes | None:
+        state = self.pattern.export_state(tag)
+        return None if state is None else encode_pattern_state(state)
+
+    def import_state(self, tag: EPC, data: bytes) -> None:
+        self.pattern.import_state(tag, decode_pattern_state(data))
+
+    def active_states(self) -> dict[EPC, PatternState]:
+        return dict(self.pattern.states)

@@ -1,0 +1,68 @@
+"""Tracking query: path-deviation monitoring (§1).
+
+"Report any pallet that has deviated from its intended path." Each
+monitored tag carries an intended route (sequence of site ids); the
+query tracks per-object progress along that route from the inferred
+event stream and raises an alert the first time the object shows up at
+a site that is not the next (or current) step of its route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+from repro.core.events import ObjectEvent
+from repro.sim.tags import EPC
+
+__all__ = ["PathDeviationQuery", "DeviationAlert"]
+
+
+class DeviationAlert(NamedTuple):
+    """An object observed off its intended route."""
+
+    tag: EPC
+    time: int
+    site: int
+    expected: tuple[int, ...]
+
+
+@dataclass
+class _RouteProgress:
+    """Per-object tracking state (migrates with the object)."""
+
+    position: int = 0
+    deviated: bool = False
+    history: list[int] = field(default_factory=list)
+
+
+class PathDeviationQuery:
+    """Continuous route conformance checking."""
+
+    def __init__(self, routes: dict[EPC, tuple[int, ...]]) -> None:
+        self.routes = dict(routes)
+        self.progress: dict[EPC, _RouteProgress] = {}
+        self.alerts: list[DeviationAlert] = []
+
+    def on_event(self, event: ObjectEvent) -> None:
+        route = self.routes.get(event.tag)
+        if route is None:
+            return
+        state = self.progress.setdefault(event.tag, _RouteProgress())
+        if state.deviated:
+            return
+        if not state.history or state.history[-1] != event.site:
+            state.history.append(event.site)
+        if state.position < len(route) and event.site == route[state.position]:
+            return  # still at the expected site
+        if state.position + 1 < len(route) and event.site == route[state.position + 1]:
+            state.position += 1  # advanced to the next expected site
+            return
+        state.deviated = True
+        expected = route[state.position : state.position + 2]
+        self.alerts.append(DeviationAlert(event.tag, event.time, event.site, expected))
+
+    def path_of(self, tag: EPC) -> list[int]:
+        """Sites visited so far (the "list the path taken" query)."""
+        state = self.progress.get(tag)
+        return list(state.history) if state is not None else []

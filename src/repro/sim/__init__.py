@@ -1,0 +1,40 @@
+"""Simulation substrate: warehouses, readers, supply chains, lab traces.
+
+The paper's evaluation (Appendix C.1) uses a CSIM-based supply-chain
+simulator plus a physical RFID lab. This package provides from-scratch
+equivalents:
+
+* :mod:`repro.sim.engine` — a discrete-event simulation core.
+* :mod:`repro.sim.layout` / :mod:`repro.sim.readers` — reader placement,
+  interrogation schedules, and the noisy observation model π(r, r̄).
+* :mod:`repro.sim.warehouse` — the entry → belt → shelf → exit lifecycle.
+* :mod:`repro.sim.supplychain` — DAGs of warehouses with pallet flows.
+* :mod:`repro.sim.anomalies` — containment-change injection.
+* :mod:`repro.sim.lab` — the 7-reader lab deployment (traces T1…T8).
+* :mod:`repro.sim.sensors` — temperature streams for hybrid queries.
+* :mod:`repro.sim.traceio` — CSV/JSON persistence so real reader logs
+  (or saved simulations) can be loaded as traces.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.layout import Layout, ReaderKind, ReaderSpec, warehouse_layout
+from repro.sim.readers import ObservationSampler, ReadRateModel
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import GroundTruth, Location, Reading, Trace, AWAY
+
+__all__ = [
+    "AWAY",
+    "EPC",
+    "GroundTruth",
+    "Layout",
+    "Location",
+    "ObservationSampler",
+    "ReadRateModel",
+    "Reading",
+    "ReaderKind",
+    "ReaderSpec",
+    "Simulator",
+    "TagKind",
+    "Trace",
+    "warehouse_layout",
+]

@@ -1,0 +1,60 @@
+"""Containment-anomaly injection (Appendix C.1, parameter FA).
+
+"To stress test our containment change detection algorithm, our
+simulator can inject anomalies that randomly pick an item and place it
+in a different case, with the frequency specified by the parameter FA."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util.rng import spawn_rng
+from repro.sim.engine import Simulator
+from repro.sim.warehouse import Warehouse
+
+__all__ = ["AnomalyInjector"]
+
+
+class AnomalyInjector:
+    """Periodically moves a random shelved item into a different case."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        warehouses: list[Warehouse],
+        interval: int,
+        start: int = 0,
+        stop: int | None = None,
+        removal_fraction: float = 0.0,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        if interval < 1:
+            raise ValueError("anomaly interval must be >= 1 epoch")
+        self.sim = sim
+        self.warehouses = warehouses
+        self.interval = interval
+        self.stop = stop
+        self.removal_fraction = removal_fraction
+        self.rng = spawn_rng(seed, "anomalies")
+        self.injected = 0
+        self.attempted = 0
+        sim.schedule_at(start + interval, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        self.attempted += 1
+        order = self.rng.permutation(len(self.warehouses))
+        for idx in order:
+            warehouse = self.warehouses[int(idx)]
+            remove = self.rng.random() < self.removal_fraction
+            done = (
+                warehouse.remove_random_item()
+                if remove
+                else warehouse.inject_containment_change()
+            )
+            if done:
+                self.injected += 1
+                break
+        self.sim.schedule(self.interval, self._tick)

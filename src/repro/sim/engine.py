@@ -1,0 +1,69 @@
+"""A minimal discrete-event simulation engine.
+
+The paper's evaluation uses CSIM, a process-oriented commercial
+simulator. We substitute a heap-based event engine: callbacks scheduled
+at integer epochs, executed in (time, FIFO) order. Warehouse lifecycles
+are expressed as chains of scheduled callbacks, which is sufficient for
+the supply-chain workloads of Appendix C.1 and keeps the engine tiny and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Heap-based discrete-event simulator over integer epochs."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._seq = 0
+        self._running = False
+
+    def schedule_at(self, time: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run at epoch ``time``.
+
+        Events scheduled for the past raise — a simulation that rewinds
+        time is always a bug in the caller.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule event at {time} < now ({self.now})")
+        heapq.heappush(self._queue, (time, self._seq, fn, args))
+        self._seq += 1
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` epochs from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self.now + delay, fn, *args)
+
+    def run(self, until: int | None = None) -> int:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the final simulation time. When ``until`` is given, time
+        is advanced to exactly ``until`` even if the queue drains early
+        (so traces have a well-defined horizon).
+        """
+        self._running = True
+        try:
+            while self._queue:
+                time, _, fn, args = self._queue[0]
+                if until is not None and time >= until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = time
+                fn(*args)
+        finally:
+            self._running = False
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,161 @@
+"""Reader placement and interrogation schedules for one site.
+
+A site (warehouse, hospital storage area, ...) has a set of static
+readers; the discrete location set R used by the inference model is
+exactly the set of those readers' positions (§3.1: "it suffices to
+localize objects to the nearest reader").
+
+Readers interrogate on schedules (Appendix C.1: non-shelf readers every
+second, shelf readers every 10 seconds). A schedule is ``(period, phase,
+burst)``: the reader is active at epoch ``t`` iff
+``(t - phase) mod period < burst``. ``burst > 1`` models a mobile reader
+sweeping shelves — it parks at one shelf for ``burst`` consecutive
+epochs, then moves on (§5.3's mobile-reader deployment).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = ["ReaderKind", "ReaderSpec", "Layout", "warehouse_layout"]
+
+
+class ReaderKind(enum.IntEnum):
+    """Functional role of a reader within a site."""
+
+    ENTRY = 0
+    BELT = 1
+    SHELF = 2
+    EXIT = 3
+
+
+@dataclass(frozen=True)
+class ReaderSpec:
+    """One reader: its role and interrogation schedule."""
+
+    name: str
+    kind: ReaderKind
+    period: int = 1
+    phase: int = 0
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if not 1 <= self.burst <= self.period:
+            raise ValueError(f"burst must be in [1, period], got {self.burst}")
+
+    def is_active(self, epoch: int) -> bool:
+        """True if this reader interrogates during ``epoch``."""
+        return (epoch - self.phase) % self.period < self.burst
+
+
+class Layout:
+    """Immutable description of one site's readers and their geometry."""
+
+    def __init__(self, name: str, specs: list[ReaderSpec]) -> None:
+        if not specs:
+            raise ValueError("a layout needs at least one reader")
+        self.name = name
+        self.specs = tuple(specs)
+        self.n_locations = len(specs)
+        self.shelf_indices = tuple(
+            i for i, s in enumerate(specs) if s.kind is ReaderKind.SHELF
+        )
+        self._index_of_kind = {
+            kind: next((i for i, s in enumerate(specs) if s.kind is kind), None)
+            for kind in ReaderKind
+        }
+        # Adjacent shelves overlap in read range (Appendix C.1/C.2): we
+        # treat consecutive shelf readers as neighbours.
+        self.adjacent_pairs = tuple(
+            (a, b) for a, b in zip(self.shelf_indices, self.shelf_indices[1:])
+        )
+        self.pattern_period = math.lcm(*(s.period for s in specs))
+        self._active_cache = lru_cache(maxsize=None)(self._active_uncached)
+
+    def index_of(self, kind: ReaderKind) -> int:
+        """Location index of the (first) reader of the given kind."""
+        idx = self._index_of_kind[kind]
+        if idx is None:
+            raise KeyError(f"layout {self.name!r} has no {kind.name} reader")
+        return idx
+
+    @property
+    def entry(self) -> int:
+        return self.index_of(ReaderKind.ENTRY)
+
+    @property
+    def belt(self) -> int:
+        return self.index_of(ReaderKind.BELT)
+
+    @property
+    def exit(self) -> int:
+        return self.index_of(ReaderKind.EXIT)
+
+    def pattern_key(self, epoch: int) -> int:
+        """Key identifying which readers are active at ``epoch``.
+
+        Activity is periodic with period ``pattern_period``, so the key
+        is simply the epoch modulo that period — used to cache per-epoch
+        quantities in the inference engine.
+        """
+        return epoch % self.pattern_period
+
+    def active_readers(self, key: int) -> tuple[int, ...]:
+        """Indices of readers active at any epoch with this pattern key."""
+        return self._active_cache(key % self.pattern_period)
+
+    def _active_uncached(self, key: int) -> tuple[int, ...]:
+        return tuple(i for i, s in enumerate(self.specs) if s.is_active(key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Layout({self.name!r}, {self.n_locations} readers)"
+
+
+def warehouse_layout(
+    name: str = "warehouse",
+    n_shelves: int = 4,
+    shelf_period: int = 10,
+    mobile_shelf_scan: bool = False,
+    mobile_dwell: int = 10,
+) -> Layout:
+    """Standard warehouse: entry, belt, ``n_shelves`` shelves, exit.
+
+    With ``mobile_shelf_scan`` (the §5.3 cost-effective deployment), the
+    static shelf readers are replaced by one mobile reader sweeping the
+    aisle: shelf location ``i`` is interrogated only while the mobile
+    reader parks there, i.e. for ``mobile_dwell`` consecutive epochs once
+    every ``n_shelves * mobile_dwell`` epochs.
+    """
+    specs = [
+        ReaderSpec("entry", ReaderKind.ENTRY),
+        ReaderSpec("belt", ReaderKind.BELT),
+    ]
+    for i in range(n_shelves):
+        if mobile_shelf_scan:
+            specs.append(
+                ReaderSpec(
+                    f"shelf-{i}",
+                    ReaderKind.SHELF,
+                    period=n_shelves * mobile_dwell,
+                    phase=i * mobile_dwell,
+                    burst=mobile_dwell,
+                )
+            )
+        else:
+            # Shelf readers interrogate synchronously (one inventory
+            # sweep every `shelf_period` epochs). Synchronized sweeps
+            # match the paper's model, in which each epoch carries the
+            # evidence of every reader simultaneously; staggered phases
+            # would create epochs whose only evidence is one reader's
+            # *absence* pattern, which the per-epoch-independent model
+            # misreads as teleportation toward uncovered shelves.
+            specs.append(
+                ReaderSpec(f"shelf-{i}", ReaderKind.SHELF, period=shelf_period, phase=0)
+            )
+    specs.append(ReaderSpec("exit", ReaderKind.EXIT))
+    return Layout(name, specs)

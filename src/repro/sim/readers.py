@@ -1,0 +1,212 @@
+"""The noisy observation model π(r, r̄) and reading sampling.
+
+§3.1: each reader at location ``r`` detects a tag at location ``r̄`` with
+probability ``π(r, r̄)`` per interrogation. In deployments these rates
+are measured periodically with reference tags; in this reproduction they
+are known to the inference engine exactly as in the paper.
+
+The matrix structure mirrors Appendix C.1:
+
+* ``π(r, r)`` — the *main read rate* RR of reader ``r`` (0.6–1.0);
+* ``π(r, a)`` for adjacent shelf readers — the *overlap rate* OR
+  (0.2–0.8);
+* elsewhere — a tiny ε that keeps log-likelihoods finite.
+
+:class:`ObservationSampler` turns ground-truth trajectories into raw
+reading streams by sampling each scheduled interrogation independently —
+this is exactly the generative process of the graphical model, and it is
+reused by the change-point threshold calibration (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.rng import spawn_rng
+from repro.sim.layout import Layout, ReaderSpec
+from repro.sim.trace import AWAY, GroundTruth, Reading, Trace
+
+__all__ = ["ReadRateModel", "ObservationSampler", "active_epochs", "RateSpec"]
+
+#: Probability assigned to "reader detects a tag that is nowhere near it".
+EPSILON_RATE = 1e-6
+
+#: Rates at or below this are not worth simulating (but still modelled).
+_SAMPLING_CUTOFF = 1e-4
+
+#: A read rate, either fixed or sampled uniformly from a (lo, hi) range.
+RateSpec = float | tuple[float, float]
+
+
+def _draw_rate(spec: RateSpec, rng: np.random.Generator) -> float:
+    if isinstance(spec, tuple):
+        lo, hi = spec
+        return float(rng.uniform(lo, hi))
+    return float(spec)
+
+
+@dataclass
+class ReadRateModel:
+    """Per-site read-rate matrix π plus cached log-space derivatives.
+
+    The location domain the *inference* sees has one extra virtual
+    state beyond the R reader positions: **away** (index ``R``), the
+    state of a tag that is not at any monitored location — in transit,
+    departed with its pallet, or removed. Every reader sees an away tag
+    with probability ε only. Without this state the model cannot
+    distinguish "the container left the site (with its contents)" from
+    "the object was removed from its container", and change-point
+    detection floods with spurious removals for every departed pallet.
+    """
+
+    layout: Layout
+    pi: np.ndarray  # (R, R): pi[r, a] = P(reader r fires | tag at a)
+    epsilon: float = EPSILON_RATE
+    log_pi: np.ndarray = field(init=False)
+    log_miss: np.ndarray = field(init=False)
+    delta: np.ndarray = field(init=False)
+    away_index: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        n = self.layout.n_locations
+        if self.pi.shape != (n, n):
+            raise ValueError("pi must be (R, R) for the layout's R readers")
+        if np.any(self.pi <= 0.0) or np.any(self.pi >= 1.0):
+            raise ValueError("read rates must lie strictly inside (0, 1)")
+        self.away_index = n
+        extended = np.concatenate([self.pi, np.full((n, 1), self.epsilon)], axis=1)
+        self.log_pi = np.log(extended)
+        self.log_miss = np.log1p(-extended)
+        # delta[r] is the log-likelihood *bonus* vector, over true
+        # states a (R locations + away), of reader r firing vs silent.
+        self.delta = self.log_pi - self.log_miss
+        self._base_cache: dict[int, np.ndarray] = {}
+
+    @classmethod
+    def build(
+        cls,
+        layout: Layout,
+        main_rate: RateSpec = 0.8,
+        overlap_rate: RateSpec = 0.5,
+        seed: int | np.random.Generator = 0,
+        epsilon: float = EPSILON_RATE,
+    ) -> "ReadRateModel":
+        """Construct π from a main read rate and a shelf overlap rate.
+
+        Tuple-valued specs sample one rate per reader (resp. per adjacent
+        shelf pair) uniformly from the range, matching Table 2's
+        "uniformly sampled from [0.6, 1]".
+        """
+        rng = spawn_rng(seed, "read-rates", layout.name)
+        n = layout.n_locations
+        pi = np.full((n, n), epsilon)
+        for r in range(n):
+            pi[r, r] = _draw_rate(main_rate, rng)
+        for a, b in layout.adjacent_pairs:
+            rate = _draw_rate(overlap_rate, rng)
+            pi[a, b] = rate
+            pi[b, a] = rate
+        return cls(layout, pi, epsilon)
+
+    @property
+    def n_locations(self) -> int:
+        return self.layout.n_locations
+
+    @property
+    def n_states(self) -> int:
+        """Locations plus the virtual away state."""
+        return self.layout.n_locations + 1
+
+    def main_rates(self) -> np.ndarray:
+        """The diagonal (own-location) read rate of every reader."""
+        return np.diagonal(self.pi).copy()
+
+    def detectable_readers(self, place: int) -> np.ndarray:
+        """Readers with non-negligible probability of seeing ``place``."""
+        return np.flatnonzero(self.pi[:, place] > _SAMPLING_CUTOFF)
+
+    def base_vector(self, pattern_key: int) -> np.ndarray:
+        """Σ over *active* readers of log(1 − π(r, ·)).
+
+        This is the log-likelihood, as a vector over true locations, of a
+        tag producing *no readings at all* during an epoch with the given
+        activity pattern. Cached per pattern key (reader schedules are
+        periodic, see :meth:`Layout.pattern_key`).
+        """
+        key = pattern_key % self.layout.pattern_period
+        cached = self._base_cache.get(key)
+        if cached is None:
+            active = self.layout.active_readers(key)
+            cached = self.log_miss[list(active), :].sum(axis=0)
+            self._base_cache[key] = cached
+        return cached
+
+    def base_matrix(self, epochs: np.ndarray) -> np.ndarray:
+        """Stack of base vectors for an array of epochs — (T, R)."""
+        keys = np.asarray(epochs) % self.layout.pattern_period
+        unique = {int(k): self.base_vector(int(k)) for k in np.unique(keys)}
+        return np.stack([unique[int(k)] for k in keys])
+
+
+def active_epochs(spec: ReaderSpec, start: int, end: int) -> np.ndarray:
+    """All epochs in ``[start, end)`` at which ``spec`` interrogates."""
+    if start >= end:
+        return np.empty(0, dtype=np.int64)
+    if spec.period == 1:
+        return np.arange(start, end, dtype=np.int64)
+    k_min = (start - spec.phase - spec.burst + 1) // spec.period
+    k_max = (end - 1 - spec.phase) // spec.period
+    if k_max < k_min:
+        return np.empty(0, dtype=np.int64)
+    cycle_starts = spec.phase + np.arange(k_min, k_max + 1, dtype=np.int64) * spec.period
+    epochs = (cycle_starts[:, None] + np.arange(spec.burst, dtype=np.int64)).ravel()
+    return epochs[(epochs >= start) & (epochs < end)]
+
+
+class ObservationSampler:
+    """Samples raw RFID readings from ground truth under a rate model."""
+
+    def __init__(self, seed: int | np.random.Generator = 0) -> None:
+        self._seed = seed
+
+    def sample_site(
+        self,
+        truth: GroundTruth,
+        site: int,
+        layout: Layout,
+        model: ReadRateModel,
+        horizon: int,
+    ) -> Trace:
+        """Generate the reading stream one site would observe."""
+        rng = spawn_rng(self._seed, "readings", site)
+        readings: list[Reading] = []
+        for tag in sorted(truth.locations):
+            imap = truth.locations[tag]
+            for seg_start, seg_end, location in imap.segments(0, horizon):
+                if location is None or location == AWAY or location.site != site:
+                    continue
+                for reader in model.detectable_readers(location.place):
+                    epochs = active_epochs(layout.specs[reader], seg_start, seg_end)
+                    if epochs.size == 0:
+                        continue
+                    rate = model.pi[reader, location.place]
+                    hits = epochs[rng.random(epochs.size) < rate]
+                    readings.extend(
+                        Reading(int(t), tag, int(reader)) for t in hits
+                    )
+        return Trace(site, layout, model, readings, horizon)
+
+    def sample_all_sites(
+        self,
+        truth: GroundTruth,
+        layouts: list[Layout],
+        models: list[ReadRateModel],
+        horizon: int,
+    ) -> list[Trace]:
+        """One trace per site."""
+        return [
+            self.sample_site(truth, site, layout, model, horizon)
+            for site, (layout, model) in enumerate(zip(layouts, models))
+        ]

@@ -1,0 +1,83 @@
+"""Temperature sensor streams for hybrid queries (§2, §5.4).
+
+Each reader location carries one temperature sensor. Freezer locations
+hold sub-zero temperatures; everywhere else sits at room temperature.
+Sensors report every ``period`` epochs with small Gaussian noise, which
+exercises the ``Temperature [Partition By sensor Rows 1]`` window of
+Query 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+import numpy as np
+
+from repro._util.rng import spawn_rng
+from repro.sim.layout import Layout
+
+__all__ = ["SensorReading", "TemperatureField", "room_and_freezer_field"]
+
+
+class SensorReading(NamedTuple):
+    """One temperature report: (time, site, sensor/location, °C)."""
+
+    time: int
+    site: int
+    sensor: int
+    temp: float
+
+
+@dataclass(frozen=True)
+class TemperatureField:
+    """Per-location base temperatures for one site."""
+
+    site: int
+    layout: Layout
+    base_temps: tuple[float, ...]
+    noise_std: float = 0.5
+    period: int = 5
+
+    def __post_init__(self) -> None:
+        if len(self.base_temps) != self.layout.n_locations:
+            raise ValueError("one base temperature per reader location required")
+
+    def freezer_locations(self, threshold: float = 0.0) -> tuple[int, ...]:
+        """Locations whose base temperature is at or below ``threshold``."""
+        return tuple(
+            i for i, temp in enumerate(self.base_temps) if temp <= threshold
+        )
+
+    def stream(
+        self, horizon: int, seed: int | np.random.Generator = 0
+    ) -> Iterator[SensorReading]:
+        """Yield all sensor readings up to ``horizon``, in time order."""
+        rng = spawn_rng(seed, "sensors", self.site)
+        for time in range(0, horizon, self.period):
+            for sensor, base in enumerate(self.base_temps):
+                noise = float(rng.normal(0.0, self.noise_std))
+                yield SensorReading(time, self.site, sensor, base + noise)
+
+    def expected_temp(self, sensor: int) -> float:
+        return self.base_temps[sensor]
+
+
+def room_and_freezer_field(
+    site: int,
+    layout: Layout,
+    freezer_shelves: tuple[int, ...] = (),
+    room_temp: float = 20.0,
+    freezer_temp: float = -18.0,
+    noise_std: float = 0.5,
+    period: int = 5,
+) -> TemperatureField:
+    """A field where the given shelf locations are freezers.
+
+    ``freezer_shelves`` indexes into ``layout.shelf_indices`` (i.e. pass
+    ``(0, 1)`` to freeze the first two shelves).
+    """
+    temps = [room_temp] * layout.n_locations
+    for shelf_pos in freezer_shelves:
+        temps[layout.shelf_indices[shelf_pos]] = freezer_temp
+    return TemperatureField(site, layout, tuple(temps), noise_std, period)

@@ -1,0 +1,196 @@
+"""End-to-end supply-chain simulation (Appendix C.1, Table 2).
+
+A supply chain is a single-source DAG of warehouses. Pallets of cases of
+items are injected at the source at a fixed period, flow through
+warehouses (with the entry/belt/shelf/exit lifecycle of
+:mod:`repro.sim.warehouse`), and are dispatched round-robin to successor
+warehouses. Running a simulation yields one raw-reading
+:class:`~repro.sim.trace.Trace` per warehouse plus the shared
+:class:`~repro.sim.trace.GroundTruth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.rng import spawn_rng
+from repro.sim.anomalies import AnomalyInjector
+from repro.sim.engine import Simulator
+from repro.sim.layout import Layout, warehouse_layout
+from repro.sim.readers import ObservationSampler, RateSpec, ReadRateModel
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import GroundTruth, Trace
+from repro.sim.warehouse import Warehouse, WarehouseParams
+from repro.sim.world import World
+
+__all__ = ["SupplyChainParams", "SupplyChainResult", "SupplyChainSimulation", "simulate"]
+
+
+@dataclass(frozen=True)
+class SupplyChainParams:
+    """All knobs of Table 2 (plus layout/timing details)."""
+
+    n_warehouses: int = 1
+    #: DAG edges as (src, dst) pairs; default is a chain 0 → 1 → … → N-1.
+    edges: tuple[tuple[int, int], ...] | None = None
+    injection_period: int = 60
+    cases_per_pallet: int = 5
+    items_per_case: int = 20
+    transit_time: int = 30
+    horizon: int = 1500
+    main_read_rate: RateSpec = 0.8
+    overlap_rate: RateSpec = 0.5
+    n_shelves: int = 4
+    mobile_shelf_scan: bool = False
+    anomaly_interval: int | None = None
+    anomaly_removal_fraction: float = 0.0
+    warehouse: WarehouseParams = field(default_factory=WarehouseParams)
+    #: stop injecting new pallets this many epochs before the horizon so
+    #: the trailing traces are not dominated by half-finished journeys.
+    injection_cutoff: int = 0
+    seed: int = 0
+
+    def dag_edges(self) -> tuple[tuple[int, int], ...]:
+        if self.edges is not None:
+            return self.edges
+        return tuple((i, i + 1) for i in range(self.n_warehouses - 1))
+
+
+@dataclass
+class SupplyChainResult:
+    """Everything a simulation produced."""
+
+    params: SupplyChainParams
+    truth: GroundTruth
+    traces: list[Trace]
+    layouts: list[Layout]
+    models: list[ReadRateModel]
+
+    @property
+    def trace(self) -> Trace:
+        """The single-site trace (convenience for 1-warehouse runs)."""
+        if len(self.traces) != 1:
+            raise ValueError("result has multiple sites; index .traces instead")
+        return self.traces[0]
+
+    def total_readings(self) -> int:
+        return sum(len(t) for t in self.traces)
+
+
+class SupplyChainSimulation:
+    """Builds and runs one supply-chain scenario."""
+
+    def __init__(self, params: SupplyChainParams) -> None:
+        self.params = params
+        self.sim = Simulator()
+        self.world = World()
+        self.truth = self.world.truth
+        self.layouts = [
+            warehouse_layout(
+                name=f"wh-{i}",
+                n_shelves=params.n_shelves,
+                mobile_shelf_scan=params.mobile_shelf_scan,
+            )
+            for i in range(params.n_warehouses)
+        ]
+        self.models = [
+            ReadRateModel.build(
+                layout,
+                main_rate=params.main_read_rate,
+                overlap_rate=params.overlap_rate,
+                seed=spawn_rng(params.seed, "rates", i),
+            )
+            for i, layout in enumerate(self.layouts)
+        ]
+        self._successors: dict[int, list[int]] = {i: [] for i in range(params.n_warehouses)}
+        for src, dst in params.dag_edges():
+            self._successors[src].append(dst)
+        self._rr_counter: dict[int, int] = dict.fromkeys(self._successors, 0)
+        self.warehouses = [
+            Warehouse(
+                self.sim,
+                site,
+                layout,
+                WarehouseParams(
+                    entry_dwell=params.warehouse.entry_dwell,
+                    belt_epochs_per_case=params.warehouse.belt_epochs_per_case,
+                    shelf_dwell_mean=params.warehouse.shelf_dwell_mean,
+                    shelf_dwell_jitter=params.warehouse.shelf_dwell_jitter,
+                    exit_dwell=params.warehouse.exit_dwell,
+                    cases_per_outgoing_pallet=params.cases_per_pallet,
+                ),
+                self.world,
+                self._dispatch,
+                seed=spawn_rng(params.seed, "wh", site),
+            )
+            for site, layout in enumerate(self.layouts)
+        ]
+        self._serials = {TagKind.PALLET: 0, TagKind.CASE: 0, TagKind.ITEM: 0}
+        self._rng = spawn_rng(params.seed, "chain")
+
+    # -- tag creation ----------------------------------------------------
+
+    def _fresh(self, kind: TagKind) -> EPC:
+        serial = self._serials[kind]
+        self._serials[kind] = serial + 1
+        return EPC(kind, serial)
+
+    def _inject_pallet(self) -> None:
+        now = self.sim.now
+        params = self.params
+        pallet = self._fresh(TagKind.PALLET)
+        self.world.register(pallet, now)
+        cases = []
+        for _ in range(params.cases_per_pallet):
+            case = self._fresh(TagKind.CASE)
+            self.world.register(case, now, container=pallet)
+            cases.append(case)
+            for _ in range(params.items_per_case):
+                item = self._fresh(TagKind.ITEM)
+                self.world.register(item, now, container=case)
+        self.warehouses[0].receive(pallet, cases, now)
+        next_time = now + params.injection_period
+        if next_time < params.horizon - params.injection_cutoff:
+            self.sim.schedule_at(next_time, self._inject_pallet)
+
+    # -- dispatch between warehouses --------------------------------------
+
+    def _dispatch(self, site: int, pallet: EPC, cases: list[EPC], time: int) -> None:
+        successors = self._successors[site]
+        if not successors:
+            return  # final destination: objects leave the supply chain
+        nxt = successors[self._rr_counter[site] % len(successors)]
+        self._rr_counter[site] += 1
+        arrival = time + self.params.transit_time
+        if arrival < self.params.horizon:
+            self.warehouses[nxt].receive(pallet, cases, arrival)
+
+    # -- running -----------------------------------------------------------
+
+    def run(self) -> SupplyChainResult:
+        params = self.params
+        self.sim.schedule_at(0, self._inject_pallet)
+        if params.anomaly_interval is not None:
+            AnomalyInjector(
+                self.sim,
+                self.warehouses,
+                interval=params.anomaly_interval,
+                removal_fraction=params.anomaly_removal_fraction,
+                seed=spawn_rng(params.seed, "anomaly"),
+            )
+        self.sim.run(until=params.horizon)
+        self.truth.horizon = params.horizon
+        sampler = ObservationSampler(seed=spawn_rng(params.seed, "sampler"))
+        traces = sampler.sample_all_sites(
+            self.truth, self.layouts, self.models, params.horizon
+        )
+        return SupplyChainResult(params, self.truth, traces, self.layouts, self.models)
+
+
+def simulate(params: SupplyChainParams | None = None, **overrides) -> SupplyChainResult:
+    """One-call convenience: build params, run, return the result."""
+    if params is None:
+        params = SupplyChainParams(**overrides)
+    elif overrides:
+        raise TypeError("pass either a params object or keyword overrides, not both")
+    return SupplyChainSimulation(params).run()

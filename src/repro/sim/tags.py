@@ -1,0 +1,63 @@
+"""EPC-style tag identities.
+
+Per the EPC tag data standard (and §2 of the paper), a tag id encodes its
+packaging level — pallet, case, or item. Algorithms rely only on that
+level plus uniqueness, so an :class:`EPC` is a ``(kind, serial)`` pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+__all__ = ["TagKind", "EPC"]
+
+
+class TagKind(enum.IntEnum):
+    """Packaging level encoded in a tag id."""
+
+    PALLET = 0
+    CASE = 1
+    ITEM = 2
+
+
+_PREFIX = {TagKind.PALLET: "P", TagKind.CASE: "C", TagKind.ITEM: "I"}
+_KIND_OF_PREFIX = {v: k for k, v in _PREFIX.items()}
+
+
+class EPC(NamedTuple):
+    """A unique tag identity: packaging level + serial number."""
+
+    kind: TagKind
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{_PREFIX[self.kind]}-{self.serial:06d}"
+
+    @classmethod
+    def parse(cls, text: str) -> "EPC":
+        """Parse the ``P-000123`` string form back into an :class:`EPC`."""
+        prefix, _, serial = text.partition("-")
+        if prefix not in _KIND_OF_PREFIX or not serial.isdigit():
+            raise ValueError(f"not a valid EPC string: {text!r}")
+        return cls(_KIND_OF_PREFIX[prefix], int(serial))
+
+    @property
+    def is_container(self) -> bool:
+        """True for tags that can contain others (cases and pallets)."""
+        return self.kind is not TagKind.ITEM
+
+
+def pallet(serial: int) -> EPC:
+    """Shorthand constructor for a pallet tag."""
+    return EPC(TagKind.PALLET, serial)
+
+
+def case(serial: int) -> EPC:
+    """Shorthand constructor for a case tag."""
+    return EPC(TagKind.CASE, serial)
+
+
+def item(serial: int) -> EPC:
+    """Shorthand constructor for an item tag."""
+    return EPC(TagKind.ITEM, serial)

@@ -1,0 +1,194 @@
+"""Raw RFID readings, traces, and ground truth.
+
+A raw RFID reading is ``(time, tag id, reader id)`` — nothing more
+(§1: "this is a fundamental limitation of RFID technology"). A
+:class:`Trace` is the stream of readings observed at one site, together
+with the site's layout and measured read-rate model (read rates are
+measured with reference tags in deployments, §3.1).
+
+:class:`GroundTruth` is the simulator's record of what actually
+happened: true locations, true containment, and injected containment
+changes. It is used only for evaluation and for sampling synthetic
+readings — never by the inference algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
+
+from repro._util.intervals import IntervalMap
+from repro.sim.tags import EPC, TagKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.layout import Layout
+    from repro.sim.readers import ReadRateModel
+
+__all__ = ["Location", "AWAY", "Reading", "ContainmentChange", "GroundTruth", "Trace"]
+
+
+class Location(NamedTuple):
+    """A physical position: (site index, reader/place index within site)."""
+
+    site: int
+    place: int
+
+
+#: The object is not at any monitored site (in transit / departed).
+AWAY = Location(-1, -1)
+
+
+class Reading(NamedTuple):
+    """One raw RFID observation."""
+
+    time: int
+    tag: EPC
+    reader: int
+
+
+class ContainmentChange(NamedTuple):
+    """Ground-truth record of an (anomalous) containment change."""
+
+    time: int
+    tag: EPC
+    old_container: EPC | None
+    new_container: EPC | None
+
+
+class GroundTruth:
+    """True world state recorded by the simulator (evaluation only)."""
+
+    def __init__(self) -> None:
+        self.locations: dict[EPC, IntervalMap[Location]] = {}
+        self.containment: dict[EPC, IntervalMap[EPC | None]] = {}
+        self.changes: list[ContainmentChange] = []
+        self.horizon: int = 0
+
+    # -- recording (used by simulators) --------------------------------
+
+    def record_location(self, tag: EPC, time: int, location: Location) -> None:
+        """Record that ``tag`` is at ``location`` from ``time`` onward."""
+        self.locations.setdefault(tag, IntervalMap(AWAY)).set_from(time, location)
+
+    def record_container(self, tag: EPC, time: int, container: EPC | None) -> None:
+        """Record that ``tag`` is inside ``container`` from ``time`` onward."""
+        self.containment.setdefault(tag, IntervalMap(None)).set_from(time, container)
+
+    def record_change(
+        self, time: int, tag: EPC, old: EPC | None, new: EPC | None
+    ) -> None:
+        """Record an anomalous containment change (for F-measure scoring)."""
+        self.changes.append(ContainmentChange(time, tag, old, new))
+
+    # -- queries (used by metrics and samplers) -------------------------
+
+    def location_at(self, tag: EPC, time: int) -> Location:
+        imap = self.locations.get(tag)
+        return imap.value_at(time) if imap is not None else AWAY
+
+    def container_at(self, tag: EPC, time: int) -> EPC | None:
+        imap = self.containment.get(tag)
+        return imap.value_at(time) if imap is not None else None
+
+    def tags(self, kind: TagKind | None = None) -> list[EPC]:
+        """All known tags, optionally filtered by packaging level."""
+        pool: Iterable[EPC] = self.locations.keys()
+        if kind is None:
+            return sorted(pool)
+        return sorted(t for t in pool if t.kind is kind)
+
+    def items(self) -> list[EPC]:
+        return self.tags(TagKind.ITEM)
+
+    def cases(self) -> list[EPC]:
+        return self.tags(TagKind.CASE)
+
+    def pallets(self) -> list[EPC]:
+        return self.tags(TagKind.PALLET)
+
+    def changes_in(self, start: int, end: int) -> list[ContainmentChange]:
+        """Anomalous changes with ``start <= time < end``."""
+        return [c for c in self.changes if start <= c.time < end]
+
+    def present_at_site(self, site: int, time: int) -> list[EPC]:
+        """Tags physically at ``site`` during epoch ``time``."""
+        return [
+            tag
+            for tag, imap in self.locations.items()
+            if (loc := imap.value_at(time)) is not None and loc.site == site
+        ]
+
+
+class Trace:
+    """The raw reading stream observed at one site.
+
+    Readings are stored sorted by time and indexed per tag for the
+    inference engine (which iterates a tag's readings inside a window).
+    """
+
+    def __init__(
+        self,
+        site: int,
+        layout: "Layout",
+        model: "ReadRateModel",
+        readings: Iterable[Reading],
+        horizon: int,
+    ) -> None:
+        self.site = site
+        self.layout = layout
+        self.model = model
+        self.readings: list[Reading] = sorted(readings)
+        self.horizon = horizon
+        self._by_tag: dict[EPC, list[tuple[int, int]]] = defaultdict(list)
+        for r in self.readings:
+            self._by_tag[r.tag].append((r.time, r.reader))
+
+    def __len__(self) -> int:
+        return len(self.readings)
+
+    def tags(self, kind: TagKind | None = None) -> list[EPC]:
+        """Tags with at least one reading, optionally filtered by kind."""
+        if kind is None:
+            return sorted(self._by_tag)
+        return sorted(t for t in self._by_tag if t.kind is kind)
+
+    def tag_readings(self, tag: EPC) -> list[tuple[int, int]]:
+        """All ``(time, reader)`` pairs for ``tag``, in time order."""
+        return self._by_tag.get(tag, [])
+
+    def tag_readings_in(self, tag: EPC, start: int, end: int) -> list[tuple[int, int]]:
+        """``(time, reader)`` pairs for ``tag`` with ``start <= time < end``."""
+        from bisect import bisect_left
+
+        rows = self._by_tag.get(tag, [])
+        lo = bisect_left(rows, (start, -1))
+        hi = bisect_left(rows, (end, -1))
+        return rows[lo:hi]
+
+    def readings_in(self, start: int, end: int) -> Iterator[Reading]:
+        """All readings with ``start <= time < end``, in time order."""
+        from bisect import bisect_left
+
+        lo = bisect_left(self.readings, Reading(start, EPC(TagKind.PALLET, -1), -1))
+        for idx in range(lo, len(self.readings)):
+            reading = self.readings[idx]
+            if reading.time >= end:
+                break
+            yield reading
+
+    def first_seen(self, tag: EPC) -> int | None:
+        """Epoch of the first reading of ``tag`` (None if never read)."""
+        rows = self._by_tag.get(tag)
+        return rows[0][0] if rows else None
+
+    def last_seen(self, tag: EPC) -> int | None:
+        """Epoch of the last reading of ``tag`` (None if never read)."""
+        rows = self._by_tag.get(tag)
+        return rows[-1][0] if rows else None
+
+    def restricted(self, epochs: "set[int] | None" = None) -> "Trace":
+        """A copy keeping only readings whose epoch is in ``epochs``."""
+        if epochs is None:
+            return self
+        kept = [r for r in self.readings if r.time in epochs]
+        return Trace(self.site, self.layout, self.model, kept, self.horizon)

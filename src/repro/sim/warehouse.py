@@ -1,0 +1,185 @@
+"""The warehouse lifecycle: entry → belt → shelf → repack → exit.
+
+Appendix C.1: "Within a warehouse, pallets first arrive at the entry
+door and are read by the reader there. They are then unpacked. [...] a
+reader at the conveyor belt scans the cases one at a time. The cases are
+then placed onto shelves and scanned by the shelf readers. After a
+period of stay, cases are removed from the shelves and repackaged. The
+assembled pallets are finally read at the exit door and dispatched."
+
+The one-case-at-a-time belt scan is what produces the *critical region*
+evidence (Fig. 4): during a case's belt slot, only that case and its
+true contents are co-located at the belt.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro._util.rng import spawn_rng
+from repro.sim.engine import Simulator
+from repro.sim.layout import Layout
+from repro.sim.tags import EPC
+from repro.sim.trace import AWAY, Location
+from repro.sim.world import World
+
+__all__ = ["WarehouseParams", "Warehouse", "PalletArrival"]
+
+#: Callback invoked when a pallet leaves a warehouse:
+#: ``dispatch(site, pallet, cases, depart_time)``.
+DispatchFn = Callable[[int, EPC, list[EPC], int], None]
+
+
+@dataclass(frozen=True)
+class WarehouseParams:
+    """Timing parameters of the warehouse lifecycle (epochs = seconds)."""
+
+    entry_dwell: int = 10
+    belt_epochs_per_case: int = 5
+    shelf_dwell_mean: int = 600
+    shelf_dwell_jitter: int = 60
+    exit_dwell: int = 10
+    cases_per_outgoing_pallet: int = 5
+
+    def __post_init__(self) -> None:
+        if min(self.entry_dwell, self.belt_epochs_per_case, self.exit_dwell) < 1:
+            raise ValueError("dwell times must be at least one epoch")
+        if self.shelf_dwell_mean <= self.shelf_dwell_jitter:
+            raise ValueError("shelf dwell jitter larger than its mean")
+
+
+@dataclass(frozen=True)
+class PalletArrival:
+    """A pallet (with its case tags) scheduled to reach a warehouse."""
+
+    pallet: EPC
+    cases: tuple[EPC, ...]
+    time: int
+
+
+class Warehouse:
+    """Event-driven model of one distribution center."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site: int,
+        layout: Layout,
+        params: WarehouseParams,
+        world: World,
+        dispatch: DispatchFn,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        self.sim = sim
+        self.site = site
+        self.layout = layout
+        self.params = params
+        self.world = world
+        self.dispatch = dispatch
+        self.rng = spawn_rng(seed, "warehouse", site)
+        self._belt_free_at = 0
+        self._repack_buffer: deque[EPC] = deque()
+        self._pallet_pool: deque[EPC] = deque()
+        #: cases currently sitting on a shelf — anomaly targets.
+        self.resident_cases: set[EPC] = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def receive(self, pallet: EPC, cases: list[EPC], time: int) -> None:
+        """Schedule a pallet arrival at the entry door at ``time``."""
+        self.sim.schedule_at(time, self._arrive, pallet, tuple(cases))
+
+    def _arrive(self, pallet: EPC, cases: tuple[EPC, ...]) -> None:
+        now = self.sim.now
+        self.world.move(pallet, now, Location(self.site, self.layout.entry))
+        self._pallet_pool.append(pallet)
+        self.sim.schedule(self.params.entry_dwell, self._unpack, pallet, cases)
+
+    def _unpack(self, pallet: EPC, cases: tuple[EPC, ...]) -> None:
+        now = self.sim.now
+        slot = max(now, self._belt_free_at)
+        for case in cases:
+            self.world.set_container(case, now, None)
+            self.sim.schedule_at(slot, self._case_on_belt, case)
+            slot += self.params.belt_epochs_per_case
+        self._belt_free_at = slot
+        self.world.move(pallet, now, AWAY)
+
+    def _case_on_belt(self, case: EPC) -> None:
+        now = self.sim.now
+        self.world.move(case, now, Location(self.site, self.layout.belt))
+        self.sim.schedule(self.params.belt_epochs_per_case, self._case_to_shelf, case)
+
+    def _case_to_shelf(self, case: EPC) -> None:
+        now = self.sim.now
+        shelf = int(self.rng.choice(self.layout.shelf_indices))
+        self.world.move(case, now, Location(self.site, shelf))
+        self.resident_cases.add(case)
+        jitter = self.params.shelf_dwell_jitter
+        dwell = self.params.shelf_dwell_mean + int(self.rng.integers(-jitter, jitter + 1))
+        self.sim.schedule(dwell, self._case_to_repack, case)
+
+    def _case_to_repack(self, case: EPC) -> None:
+        now = self.sim.now
+        self.resident_cases.discard(case)
+        self.world.move(case, now, Location(self.site, self.layout.exit))
+        self._repack_buffer.append(case)
+        self._maybe_assemble()
+
+    def _maybe_assemble(self) -> None:
+        group_size = self.params.cases_per_outgoing_pallet
+        if len(self._repack_buffer) < group_size or not self._pallet_pool:
+            return
+        now = self.sim.now
+        pallet = self._pallet_pool.popleft()
+        group = [self._repack_buffer.popleft() for _ in range(group_size)]
+        self.world.move(pallet, now, Location(self.site, self.layout.exit))
+        for case in group:
+            self.world.set_container(case, now, pallet)
+        self.sim.schedule(self.params.exit_dwell, self._depart, pallet, group)
+
+    def _depart(self, pallet: EPC, group: list[EPC]) -> None:
+        now = self.sim.now
+        self.world.move(pallet, now, AWAY)
+        self.dispatch(self.site, pallet, group, now)
+
+    # -- anomaly support -------------------------------------------------
+
+    def inject_containment_change(self) -> bool:
+        """Move one random shelved item into a different shelved case.
+
+        Returns True if a change was injected (needs ≥ 2 shelved cases
+        with at least one non-empty source case).
+        """
+        candidates = sorted(self.resident_cases)
+        if len(candidates) < 2:
+            return False
+        sources = [c for c in candidates if self.world.items_in(c)]
+        if not sources:
+            return False
+        now = self.sim.now
+        src = sources[int(self.rng.integers(len(sources)))]
+        items = self.world.items_in(src)
+        moved = items[int(self.rng.integers(len(items)))]
+        others = [c for c in candidates if c != src]
+        dst = others[int(self.rng.integers(len(others)))]
+        self.world.set_container(moved, now, dst, anomalous=True)
+        self.world.move(moved, now, self.world.location(dst))
+        return True
+
+    def remove_random_item(self) -> bool:
+        """Remove a random shelved item altogether (lab traces T5–T8)."""
+        sources = [c for c in sorted(self.resident_cases) if self.world.items_in(c)]
+        if not sources:
+            return False
+        now = self.sim.now
+        src = sources[int(self.rng.integers(len(sources)))]
+        items = self.world.items_in(src)
+        removed = items[int(self.rng.integers(len(items)))]
+        self.world.set_container(removed, now, None, anomalous=True)
+        self.world.move(removed, now, AWAY)
+        return True

@@ -1,0 +1,82 @@
+"""Mutable physical-world state shared by simulator components.
+
+The :class:`World` tracks, at the current simulation instant, where
+every tag is and what contains what — and records every change into a
+:class:`~repro.sim.trace.GroundTruth` for later evaluation. Moving a
+container recursively moves its contents, which is precisely the
+physical coupling that RFINFER's "smoothing over containment" exploits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.sim.tags import EPC
+from repro.sim.trace import AWAY, GroundTruth, Location
+
+__all__ = ["World"]
+
+
+class World:
+    """Current physical state + ground-truth recorder."""
+
+    def __init__(self, truth: GroundTruth | None = None) -> None:
+        self.truth = truth if truth is not None else GroundTruth()
+        self.location_of: dict[EPC, Location] = {}
+        self.container_of: dict[EPC, EPC | None] = {}
+        self.contents: dict[EPC, set[EPC]] = defaultdict(set)
+
+    def register(
+        self,
+        tag: EPC,
+        time: int,
+        location: Location = AWAY,
+        container: EPC | None = None,
+    ) -> None:
+        """Introduce a new tag into the world."""
+        if tag in self.location_of:
+            raise ValueError(f"tag {tag} registered twice")
+        self.location_of[tag] = location
+        self.truth.record_location(tag, time, location)
+        self.container_of[tag] = None
+        if container is not None:
+            self.set_container(tag, time, container)
+        else:
+            self.truth.record_container(tag, time, None)
+
+    def set_container(
+        self,
+        tag: EPC,
+        time: int,
+        container: EPC | None,
+        anomalous: bool = False,
+    ) -> None:
+        """Re-parent ``tag`` (None removes it from any container)."""
+        old = self.container_of.get(tag)
+        if old is not None:
+            self.contents[old].discard(tag)
+        self.container_of[tag] = container
+        if container is not None:
+            if container.kind >= tag.kind:
+                raise ValueError(f"{container} cannot contain {tag}")
+            self.contents[container].add(tag)
+        self.truth.record_container(tag, time, container)
+        if anomalous:
+            self.truth.record_change(time, tag, old, container)
+
+    def move(self, tag: EPC, time: int, location: Location) -> None:
+        """Move ``tag`` — and, recursively, everything inside it."""
+        self.location_of[tag] = location
+        self.truth.record_location(tag, time, location)
+        for inner in sorted(self.contents.get(tag, ())):
+            self.move(inner, time, location)
+
+    def items_in(self, container: EPC) -> list[EPC]:
+        """Current direct contents of ``container``, sorted for determinism."""
+        return sorted(self.contents.get(container, ()))
+
+    def location(self, tag: EPC) -> Location:
+        return self.location_of.get(tag, AWAY)
+
+    def container(self, tag: EPC) -> EPC | None:
+        return self.container_of.get(tag)

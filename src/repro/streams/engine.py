@@ -1,0 +1,46 @@
+"""Driving continuous queries over merged, time-ordered streams.
+
+Local query processing consumes the inference-produced object event
+stream together with sensor streams (Fig. 3). The scheduler merges any
+number of already-sorted streams by timestamp and pushes each tuple to
+the interested queries — a minimal but faithful stand-in for a CQL
+engine's shared scheduler.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["StreamScheduler", "merge_by_time"]
+
+
+def merge_by_time(*streams: Iterable[Any]) -> Iterator[Any]:
+    """Merge time-sorted streams into one time-sorted stream.
+
+    Ties are broken by stream index, keeping the merge stable (sensor
+    readings registered before object events at the same epoch if passed
+    first)."""
+    return heapq.merge(*streams, key=lambda item: item.time)
+
+
+class StreamScheduler:
+    """Routes merged tuples to per-type handlers."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[type, Callable[[Any], None]]] = []
+
+    def route(self, kind: type, handler: Callable[[Any], None]) -> "StreamScheduler":
+        """Send tuples of ``kind`` (isinstance match) to ``handler``."""
+        self._routes.append((kind, handler))
+        return self
+
+    def run(self, *streams: Iterable[Any]) -> int:
+        """Drain the merged streams; returns tuples processed."""
+        count = 0
+        for item in merge_by_time(*streams):
+            for kind, handler in self._routes:
+                if isinstance(item, kind):
+                    handler(item)
+            count += 1
+        return count

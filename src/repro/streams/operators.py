@@ -1,0 +1,111 @@
+"""Push-based relational stream operators (CQL subset).
+
+Each operator receives tuples via :meth:`push` and forwards derived
+tuples to its subscribers. The subset implemented here is what the
+paper's monitoring queries use:
+
+* ``Filter`` / ``Map`` — stateless selection and projection;
+* ``LatestByKey`` — the ``[Partition By k Rows 1]`` window: a relation
+  holding the newest tuple per key;
+* ``NowJoin`` — the ``[Now]`` window joined against such a relation
+  (each arriving stream tuple probes the table, Rstream semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Hashable, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+__all__ = ["Operator", "Filter", "Map", "LatestByKey", "NowJoin"]
+
+
+class Operator(Generic[T]):
+    """Base class wiring push-based subscription."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Any], None]] = []
+
+    def subscribe(self, sink: "Operator | Callable[[Any], None]") -> "Operator":
+        """Register a downstream operator (or plain callable)."""
+        if isinstance(sink, Operator):
+            self._subscribers.append(sink.push)
+        else:
+            self._subscribers.append(sink)
+        return self
+
+    def emit(self, item: Any) -> None:
+        for sink in self._subscribers:
+            sink(item)
+
+    def push(self, item: T) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Filter(Operator[T]):
+    """Forward tuples satisfying a predicate."""
+
+    def __init__(self, predicate: Callable[[T], bool]) -> None:
+        super().__init__()
+        self.predicate = predicate
+
+    def push(self, item: T) -> None:
+        if self.predicate(item):
+            self.emit(item)
+
+
+class Map(Operator[T]):
+    """Forward a derived tuple for every input tuple."""
+
+    def __init__(self, fn: Callable[[T], U]) -> None:
+        super().__init__()
+        self.fn = fn
+
+    def push(self, item: T) -> None:
+        self.emit(self.fn(item))
+
+
+class LatestByKey(Operator[T]):
+    """``[Partition By key Rows 1]``: newest tuple per key, as a table."""
+
+    def __init__(self, key_fn: Callable[[T], Hashable]) -> None:
+        super().__init__()
+        self.key_fn = key_fn
+        self.table: dict[Hashable, T] = {}
+
+    def push(self, item: T) -> None:
+        self.table[self.key_fn(item)] = item
+        self.emit(item)
+
+    def lookup(self, key: Hashable) -> T | None:
+        return self.table.get(key)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class NowJoin(Operator[T]):
+    """``S [Now] ⋈ R``: each stream tuple probes a table and, if the
+    probe succeeds, emits ``combine(stream_tuple, table_tuple)``."""
+
+    def __init__(
+        self,
+        table: LatestByKey,
+        probe_key: Callable[[T], Hashable],
+        combine: Callable[[T, Any], Any],
+        where: Callable[[T, Any], bool] | None = None,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.probe_key = probe_key
+        self.combine = combine
+        self.where = where
+
+    def push(self, item: T) -> None:
+        match = self.table.lookup(self.probe_key(item))
+        if match is None:
+            return
+        if self.where is not None and not self.where(item, match):
+            return
+        self.emit(self.combine(item, match))

@@ -1,0 +1,38 @@
+"""Compact per-object query-state encoding (§4.2, Appendix B).
+
+The automaton state that migrates with an object is serialized as:
+``stage (varint) | start_time (varint) | last_time (varint) |
+n_values (varint) | n × float32``. Table 5.4's byte counts are computed
+on this wire format, and the centroid-based sharing of
+:mod:`repro.distributed.sharing` diffs these byte strings.
+"""
+
+from __future__ import annotations
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.streams.pattern import PatternState
+
+__all__ = ["encode_pattern_state", "decode_pattern_state"]
+
+
+def encode_pattern_state(state: PatternState) -> bytes:
+    """Serialize one object's automaton state."""
+    writer = ByteWriter()
+    writer.varint(state.stage)
+    writer.varint(state.start_time)
+    writer.varint(state.last_time)
+    writer.varint(len(state.values))
+    for value in state.values:
+        writer.float32(value)
+    return writer.getvalue()
+
+
+def decode_pattern_state(data: bytes) -> PatternState:
+    """Inverse of :func:`encode_pattern_state`."""
+    reader = ByteReader(data)
+    stage = reader.varint()
+    start_time = reader.varint()
+    last_time = reader.varint()
+    count = reader.varint()
+    values = [reader.float32() for _ in range(count)]
+    return PatternState(stage, start_time, last_time, values)

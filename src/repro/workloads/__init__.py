@@ -1,0 +1,25 @@
+"""Workload generators parameterized as in Table 2, plus scenarios.
+
+* :mod:`repro.workloads.catalog` — the manufacturer's database mapping
+  tag ids to product/container attributes (§2: "optional attributes
+  describing object properties ... obtained from the manufacturer's
+  database").
+* :mod:`repro.workloads.scenarios` — scripted scenarios: the Fig. 4
+  evidence journey and the cold-chain deployment exercising Q1/Q2.
+"""
+
+from repro.workloads.catalog import ProductCatalog
+from repro.workloads.scenarios import (
+    ColdChainScenario,
+    EvidenceScenario,
+    cold_chain_scenario,
+    evidence_scenario,
+)
+
+__all__ = [
+    "ColdChainScenario",
+    "EvidenceScenario",
+    "ProductCatalog",
+    "cold_chain_scenario",
+    "evidence_scenario",
+]

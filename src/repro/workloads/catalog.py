@@ -1,0 +1,41 @@
+"""The manufacturer's catalog: descriptive attributes per tag (§2).
+
+Raw RFID data and inferred events carry only identities; properties
+like "this case is a freezer case" or "this item is a frozen food"
+come from the manufacturer's database and are joined in at query time
+(Q1's ``R.container IsA 'freezer'``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.tags import EPC
+
+__all__ = ["ProductCatalog"]
+
+
+@dataclass
+class ProductCatalog:
+    """Attribute lookups for containers and products."""
+
+    freezer_cases: set[EPC] = field(default_factory=set)
+    frozen_items: set[EPC] = field(default_factory=set)
+    product_types: dict[EPC, str] = field(default_factory=dict)
+
+    def is_freezer(self, container: EPC | None) -> bool:
+        """Q1's ``container IsA 'freezer'`` predicate."""
+        return container is not None and container in self.freezer_cases
+
+    def is_frozen_product(self, tag: EPC) -> bool:
+        return tag in self.frozen_items
+
+    def register_freezer_case(self, case: EPC, items: list[EPC]) -> None:
+        """Mark a case as a freezer case full of frozen products."""
+        self.freezer_cases.add(case)
+        for item in items:
+            self.frozen_items.add(item)
+            self.product_types[item] = "frozen"
+
+    def product_type(self, tag: EPC) -> str:
+        return self.product_types.get(tag, "dry")

@@ -1,0 +1,235 @@
+"""Scripted scenarios used by figures, examples, and query benches.
+
+* :func:`evidence_scenario` — the Fig. 4 journey: one object whose
+  candidate containers are the real container R (always co-located), a
+  false container NRC (co-located at the door and on the shelf but not
+  at the belt), and a false container NRNC (co-located only at the
+  door).
+* :func:`cold_chain_scenario` — a cold-chain deployment for Q1/Q2:
+  freezer cases on freezer shelves, room cases on room shelves, and
+  injected exposures (frozen items moved into room cases), optionally
+  spanning two sites so exposure runs cross a state migration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.rng import spawn_rng
+from repro.sim.layout import Layout, warehouse_layout
+from repro.sim.readers import ObservationSampler, RateSpec, ReadRateModel
+from repro.sim.sensors import TemperatureField, room_and_freezer_field
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import AWAY, GroundTruth, Location, Trace
+from repro.sim.world import World
+from repro.workloads.catalog import ProductCatalog
+
+__all__ = [
+    "EvidenceScenario",
+    "evidence_scenario",
+    "ColdChainScenario",
+    "cold_chain_scenario",
+]
+
+
+@dataclass
+class EvidenceScenario:
+    """The Fig. 4 setup plus everything needed to run inference on it."""
+
+    truth: GroundTruth
+    trace: Trace
+    layout: Layout
+    model: ReadRateModel
+    object_tag: EPC
+    real: EPC  # R: travelled with the object the whole way
+    nrc: EPC  # co-located at door and shelf, not at belt
+    nrnc: EPC  # co-located at the door only
+    horizon: int
+
+
+def evidence_scenario(
+    seed: int = 0,
+    read_rate: RateSpec = 0.8,
+    overlap_rate: RateSpec = 0.5,
+    door_until: int = 90,
+    belt_until: int = 110,
+    horizon: int = 260,
+) -> EvidenceScenario:
+    """Build the three-candidate journey of Fig. 4."""
+    layout = warehouse_layout(name="evidence")
+    model = ReadRateModel.build(
+        layout, main_rate=read_rate, overlap_rate=overlap_rate, seed=seed
+    )
+    world = World()
+    rng = spawn_rng(seed, "evidence")
+    real = EPC(TagKind.CASE, 0)
+    nrc = EPC(TagKind.CASE, 1)
+    nrnc = EPC(TagKind.CASE, 2)
+    obj = EPC(TagKind.ITEM, 0)
+    shelf = int(layout.shelf_indices[0])
+    other_shelf = int(layout.shelf_indices[-1])
+
+    world.register(real, 0, location=Location(0, layout.entry))
+    world.register(obj, 0, container=real)
+    world.move(obj, 0, Location(0, layout.entry))
+    world.register(nrc, 0, location=Location(0, layout.entry))
+    world.register(nrnc, 0, location=Location(0, layout.entry))
+
+    # R rides with the object: door → belt → shelf.
+    world.move(real, door_until, Location(0, layout.belt))
+    world.move(real, belt_until, Location(0, shelf))
+    # NRC skips the belt but reappears on the object's shelf.
+    world.move(nrc, door_until, Location(0, other_shelf))
+    world.move(nrc, belt_until + 10, Location(0, shelf))
+    # NRNC leaves for a different shelf and never comes back.
+    world.move(nrnc, door_until, Location(0, other_shelf))
+
+    world.truth.horizon = horizon
+    sampler = ObservationSampler(seed=spawn_rng(seed, "evidence-sampler"))
+    trace = sampler.sample_site(world.truth, 0, layout, model, horizon)
+    return EvidenceScenario(
+        world.truth, trace, layout, model, obj, real, nrc, nrnc, horizon
+    )
+
+
+@dataclass
+class ColdChainScenario:
+    """A cold-chain deployment for the hybrid monitoring queries."""
+
+    truth: GroundTruth
+    traces: list[Trace]
+    layouts: list[Layout]
+    models: list[ReadRateModel]
+    fields: list[TemperatureField]
+    catalog: ProductCatalog
+    horizon: int
+    #: (item, moved-out time, moved-back time or None) ground truth.
+    exposures: list[tuple[EPC, int, int | None]] = field(default_factory=list)
+
+    @property
+    def trace(self) -> Trace:
+        if len(self.traces) != 1:
+            raise ValueError("multi-site scenario; index .traces")
+        return self.traces[0]
+
+    def sensor_stream(self, site: int, seed: int = 0) -> list:
+        return list(self.fields[site].stream(self.horizon, seed=seed))
+
+
+def cold_chain_scenario(
+    n_freezer_cases: int = 6,
+    n_room_cases: int = 6,
+    items_per_case: int = 6,
+    n_exposures: int = 4,
+    n_short_exposures: int = 1,
+    exposure_start: int = 250,
+    exposure_spacing: int = 60,
+    short_exposure_length: int = 120,
+    horizon: int = 1200,
+    n_sites: int = 1,
+    site_leave_time: int | None = None,
+    transit_time: int = 30,
+    read_rate: RateSpec = 0.8,
+    overlap_rate: RateSpec = 0.5,
+    seed: int = 0,
+) -> ColdChainScenario:
+    """Build a cold-chain deployment with injected exposures.
+
+    Freezer cases (with frozen items) sit on freezer shelves; room cases
+    on room-temperature shelves. ``n_exposures`` frozen items are moved
+    into room cases at staggered times; the first ``n_short_exposures``
+    of them are moved back before any exposure duration elapses
+    (negative examples). With ``n_sites=2`` every case travels to the
+    second site at ``site_leave_time``, so exposure runs span a state
+    migration.
+    """
+    if n_exposures > n_freezer_cases:
+        raise ValueError("at most one exposure per freezer case")
+    rng = spawn_rng(seed, "cold-chain")
+    layouts = [
+        warehouse_layout(name=f"cold-{s}", n_shelves=4) for s in range(n_sites)
+    ]
+    models = [
+        ReadRateModel.build(
+            layout,
+            main_rate=read_rate,
+            overlap_rate=overlap_rate,
+            seed=spawn_rng(seed, "cold-rates", s),
+        )
+        for s, layout in enumerate(layouts)
+    ]
+    fields = [
+        room_and_freezer_field(s, layout, freezer_shelves=(0, 1))
+        for s, layout in enumerate(layouts)
+    ]
+    world = World()
+    catalog = ProductCatalog()
+
+    n_cases = n_freezer_cases + n_room_cases
+    cases = [EPC(TagKind.CASE, i) for i in range(n_cases)]
+    items: dict[EPC, list[EPC]] = {}
+    serial = 0
+    for idx, case in enumerate(cases):
+        world.register(case, 0)
+        contents = []
+        for _ in range(items_per_case):
+            item = EPC(TagKind.ITEM, serial)
+            serial += 1
+            world.register(item, 0, container=case)
+            contents.append(item)
+        items[case] = contents
+        if idx < n_freezer_cases:
+            catalog.register_freezer_case(case, contents)
+
+    def shelf_for(layout: Layout, idx: int) -> int:
+        freezer = idx < n_freezer_cases
+        pool = layout.shelf_indices[:2] if freezer else layout.shelf_indices[2:]
+        return int(pool[idx % len(pool)])
+
+    # Site 0 intake: staggered entry → belt → shelf.
+    belt_free = 0
+    for idx, case in enumerate(cases):
+        t_entry = idx * 8
+        world.move(case, t_entry, Location(0, layouts[0].entry))
+        t_belt = max(t_entry + 5, belt_free)
+        world.move(case, t_belt, Location(0, layouts[0].belt))
+        belt_free = t_belt + 5
+        world.move(case, t_belt + 5, Location(0, shelf_for(layouts[0], idx)))
+
+    # Exposures: move a frozen item into a room case.
+    exposures: list[tuple[EPC, int, int | None]] = []
+    for k in range(n_exposures):
+        src = cases[k]
+        dst = cases[n_freezer_cases + (k % n_room_cases)]
+        victim = items[src][int(rng.integers(items_per_case))]
+        t_out = exposure_start + k * exposure_spacing
+        world.set_container(victim, t_out, dst, anomalous=True)
+        world.move(victim, t_out, world.location(dst))
+        t_back: int | None = None
+        if k < n_short_exposures:
+            t_back = t_out + short_exposure_length
+            world.set_container(victim, t_back, src, anomalous=True)
+            world.move(victim, t_back, world.location(src))
+        exposures.append((victim, t_out, t_back))
+
+    # Optional migration to a second site.
+    if n_sites >= 2:
+        leave = site_leave_time if site_leave_time is not None else horizon // 2
+        belt_free = 0
+        for idx, case in enumerate(cases):
+            t_exit = leave + idx * 4
+            world.move(case, t_exit, Location(0, layouts[0].exit))
+            world.move(case, t_exit + 5, AWAY)
+            t_entry = t_exit + 5 + transit_time
+            world.move(case, t_entry, Location(1, layouts[1].entry))
+            t_belt = max(t_entry + 5, belt_free)
+            world.move(case, t_belt, Location(1, layouts[1].belt))
+            belt_free = t_belt + 5
+            world.move(case, t_belt + 5, Location(1, shelf_for(layouts[1], idx)))
+
+    world.truth.horizon = horizon
+    sampler = ObservationSampler(seed=spawn_rng(seed, "cold-sampler"))
+    traces = sampler.sample_all_sites(world.truth, layouts, models, horizon)
+    return ColdChainScenario(
+        world.truth, traces, layouts, models, fields, catalog, horizon, exposures
+    )

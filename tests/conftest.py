@@ -1,0 +1,63 @@
+"""Shared fixtures: small, cached simulation artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.supplychain import SupplyChainParams, simulate
+
+
+@pytest.fixture(scope="session")
+def small_chain():
+    """A small single-warehouse run used by many read-only tests."""
+    return simulate(
+        SupplyChainParams(
+            n_warehouses=1,
+            horizon=900,
+            items_per_case=8,
+            cases_per_pallet=4,
+            injection_period=150,
+            main_read_rate=0.8,
+            overlap_rate=0.5,
+            seed=101,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def anomaly_chain():
+    """A single warehouse with injected containment changes."""
+    return simulate(
+        SupplyChainParams(
+            n_warehouses=1,
+            horizon=1500,
+            items_per_case=8,
+            cases_per_pallet=4,
+            injection_period=200,
+            main_read_rate=0.8,
+            overlap_rate=0.5,
+            anomaly_interval=100,
+            n_shelves=6,
+            seed=202,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def multi_site_chain():
+    """Three warehouses in a chain, for distributed tests."""
+    from repro.sim.warehouse import WarehouseParams
+
+    return simulate(
+        SupplyChainParams(
+            n_warehouses=3,
+            horizon=1800,
+            items_per_case=6,
+            cases_per_pallet=3,
+            injection_period=300,
+            main_read_rate=0.8,
+            overlap_rate=0.5,
+            warehouse=WarehouseParams(shelf_dwell_mean=300, shelf_dwell_jitter=40),
+            seed=303,
+        )
+    )

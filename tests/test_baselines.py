@@ -1,0 +1,87 @@
+"""Tests for the SMURF and SMURF* baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.smurf import SmurfConfig, SmurfSmoother, smooth_trace
+from repro.baselines.smurf_star import SmurfStar
+from repro.metrics.accuracy import containment_error_rate
+from repro.sim.lab import generate_lab_trace
+from repro.sim.tags import TagKind
+
+
+@pytest.fixture(scope="module")
+def lab_stable():
+    return generate_lab_trace("T1", seed=9)
+
+
+@pytest.fixture(scope="module")
+def lab_changes():
+    return generate_lab_trace("T5", seed=9)
+
+
+class TestSmurf:
+    def test_estimates_cover_horizon(self, lab_stable):
+        tag = lab_stable.trace.tags(TagKind.CASE)[0]
+        est = SmurfSmoother(lab_stable.trace).smooth(tag)
+        assert est.locations.shape == (lab_stable.trace.horizon,)
+        assert est.window_sizes.shape == (lab_stable.trace.horizon,)
+
+    def test_tracks_dominant_reader_on_shelf(self, lab_stable):
+        truth = lab_stable.truth
+        tag = lab_stable.trace.tags(TagKind.CASE)[0]
+        est = SmurfSmoother(lab_stable.trace).smooth(tag)
+        # Mid-shelf dwell: the smoothed location matches ground truth.
+        loc = truth.location_at(tag, 500)
+        assert loc.site == 0
+        window = est.locations[450:550]
+        assert (window == loc.place).mean() > 0.5
+
+    def test_unread_tag_stays_unknown(self, lab_stable):
+        from repro.sim.tags import EPC
+
+        est = SmurfSmoother(lab_stable.trace).smooth(EPC(TagKind.ITEM, 99999))
+        assert (est.locations == -1).all()
+        assert est.read_rate == 0.0
+
+    def test_window_adapts_within_bounds(self, lab_stable):
+        config = SmurfConfig(min_window=10, max_window=80)
+        tag = lab_stable.trace.tags(TagKind.ITEM)[0]
+        est = SmurfSmoother(lab_stable.trace, config).smooth(tag)
+        assert est.window_sizes.min() >= 10
+        assert est.window_sizes.max() <= 80
+
+    def test_smooth_trace_covers_all_tags(self, lab_stable):
+        estimates = smooth_trace(lab_stable.trace)
+        assert set(estimates) == set(lab_stable.trace.tags())
+
+
+class TestSmurfStar:
+    def test_containment_reasonable_on_clean_trace(self, lab_stable):
+        result = SmurfStar(lab_stable.trace).run()
+        err = containment_error_rate(
+            lab_stable.truth, result.containment, 880, lab_stable.truth.items()
+        )
+        assert err <= 0.30  # heuristic baseline: better than chance, worse than RFINFER
+
+    def test_rfinfer_beats_smurf_star(self, lab_stable):
+        from repro.core.likelihood import TraceWindow
+        from repro.core.rfinfer import RFInfer
+
+        smurf = SmurfStar(lab_stable.trace).run()
+        smurf_err = containment_error_rate(
+            lab_stable.truth, smurf.containment, 880, lab_stable.truth.items()
+        )
+        window = TraceWindow.from_range(lab_stable.trace, 0, 900)
+        rf = RFInfer(window).run()
+        rf_err = containment_error_rate(lab_stable.truth, rf.containment, 880)
+        assert rf_err <= smurf_err
+
+    def test_reports_some_changes_on_change_trace(self, lab_changes):
+        result = SmurfStar(lab_changes.trace).run()
+        assert isinstance(result.changes, list)
+
+    def test_location_error_bounded(self, lab_stable):
+        result = SmurfStar(lab_stable.trace).run()
+        err = result.location_error(lab_stable.truth, 0, 0, 880)
+        assert 0.0 <= err <= 1.0

@@ -1,0 +1,139 @@
+"""Tests for collapsed state and the streaming inference service."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.collapsed import CollapsedState
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.sim.tags import EPC, TagKind
+
+
+epc_strategy = st.builds(
+    EPC, st.sampled_from([TagKind.CASE, TagKind.ITEM]), st.integers(0, 10**6)
+)
+
+
+class TestCollapsedState:
+    @given(
+        tag=epc_strategy,
+        weights=st.dictionaries(
+            st.builds(EPC, st.just(TagKind.CASE), st.integers(0, 1000)),
+            st.floats(-1e6, 1e6, width=32),
+            max_size=8,
+        ),
+        changed_at=st.one_of(st.none(), st.integers(0, 10**6)),
+    )
+    def test_round_trip(self, tag, weights, changed_at):
+        state = CollapsedState(tag, weights, None, changed_at)
+        back = CollapsedState.from_bytes(state.to_bytes())
+        assert back.tag == tag
+        assert back.changed_at == changed_at
+        assert set(back.weights) == set(weights)
+        for k, v in weights.items():
+            assert back.weights[k] == pytest.approx(v, rel=1e-6)
+
+    def test_merge_adds_weights(self):
+        a = EPC(TagKind.CASE, 1)
+        b = EPC(TagKind.CASE, 2)
+        state = CollapsedState(EPC(TagKind.ITEM, 0), {a: 2.0, b: -1.0})
+        merged = state.merge({a: 3.0})
+        assert merged[a] == pytest.approx(5.0)
+        assert merged[b] == pytest.approx(-1.0)
+
+    def test_best_container(self):
+        a, b = EPC(TagKind.CASE, 1), EPC(TagKind.CASE, 2)
+        state = CollapsedState(EPC(TagKind.ITEM, 0), {a: -5.0, b: -2.0})
+        assert state.best_container() == b
+
+    def test_byte_size_is_compact(self):
+        """Collapsed state is 'a few numbers for each object' (§4.1)."""
+        cands = {EPC(TagKind.CASE, i): float(i) for i in range(5)}
+        state = CollapsedState(EPC(TagKind.ITEM, 12), cands, EPC(TagKind.CASE, 0), 17)
+        assert state.byte_size() < 64
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(run_interval=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(run_interval=300, recent_history=100)
+        with pytest.raises(ValueError):
+            ServiceConfig(truncation="bogus")
+
+
+class TestStreamingInference:
+    def test_runs_scheduled_at_boundaries(self, small_chain):
+        service = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=300, emit_events=False),
+        )
+        service.run_until(900)
+        assert [r.time for r in service.runs] == [300, 600, 900]
+
+    def test_containment_estimates_accumulate(self, small_chain):
+        service = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=600, emit_events=False),
+        )
+        service.run_until(900)
+        items = small_chain.truth.items()
+        estimated = [i for i in items if service.containment_at(i) is not None]
+        assert len(estimated) >= 0.9 * len(items)
+
+    def test_cr_windows_smaller_than_all(self, small_chain):
+        all_svc = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=300,
+                          truncation="all", emit_events=False),
+        )
+        cr_svc = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=300,
+                          truncation="cr", emit_events=False),
+        )
+        all_svc.run_until(900)
+        cr_svc.run_until(900)
+        assert cr_svc.runs[-1].window_rows <= all_svc.runs[-1].window_rows
+
+    def test_events_emitted_in_order_and_on_site(self, small_chain):
+        service = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=300, event_period=5),
+        )
+        service.run_until(600)
+        assert service.events
+        times = [e.time for e in service.events]
+        assert max(times) < 600
+        for event in service.events[:200]:
+            assert 0 <= event.place < small_chain.trace.layout.n_locations
+
+    def test_export_import_state_round_trip(self, small_chain):
+        service = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=300, emit_events=False),
+        )
+        service.run_until(600)
+        item = next(
+            t for t in small_chain.truth.items()
+            if service.containment_at(t) is not None
+        )
+        state = service.export_state(item)
+        assert state.tag == item
+        assert state.weights
+        fresh = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=300, emit_events=False),
+        )
+        fresh.absorb_state(state)
+        assert fresh.prior_weights[item]
+        assert fresh.containment_at(item) == state.container
+
+    def test_retained_epoch_count(self, small_chain):
+        service = StreamingInference(
+            small_chain.trace,
+            ServiceConfig(run_interval=300, recent_history=300,
+                          truncation="window", window_size=450, emit_events=False),
+        )
+        service.run_until(900)
+        assert service.retained_epoch_count(900) == 450

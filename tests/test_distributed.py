@@ -1,0 +1,171 @@
+"""Tests for the distributed layer: network, ONS, tag memory, sharing,
+coordination, and the centralized baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.service import ServiceConfig
+from repro.distributed.centralized import CentralizedDeployment, merge_sites
+from repro.distributed.coordinator import DistributedDeployment
+from repro.distributed.network import Network
+from repro.distributed.ons import ObjectNamingService
+from repro.distributed.sharing import (
+    SharedStateBundle,
+    apply_diff,
+    byte_distance,
+    centroid_compress,
+    state_diff,
+)
+from repro.distributed.tagmem import TagMemory, TagMemoryError
+from repro.sim.tags import EPC, TagKind
+
+
+class TestNetwork:
+    def test_accounting(self):
+        net = Network()
+        net.send(0, 1, "x", b"12345")
+        net.send(1, 0, "x", b"123")
+        net.send(0, 2, "y", b"1")
+        assert net.bytes_by_kind["x"] == 8
+        assert net.total_bytes() == 9
+        assert net.total_messages() == 3
+
+    def test_optional_log(self):
+        net = Network(keep_log=True)
+        net.send(0, 1, "x", b"a")
+        assert len(net.log) == 1 and net.log[0].payload == b"a"
+
+
+class TestONS:
+    def test_lookup_and_update(self):
+        net = Network()
+        ons = ObjectNamingService(net)
+        tag = EPC(TagKind.ITEM, 7)
+        assert ons.lookup(tag, asking_site=1) is None
+        ons.update(tag, 0)
+        assert ons.lookup(tag, asking_site=1) == 0
+        assert net.messages_by_kind["ons-update"] == 1
+        assert net.messages_by_kind["ons-lookup"] == 2
+
+
+class TestTagMemory:
+    def test_write_read(self):
+        mem = TagMemory(capacity_bytes=64)
+        tag = EPC(TagKind.ITEM, 0)
+        mem.write(tag, "inference", b"x" * 40)
+        assert mem.read(tag, "inference") == b"x" * 40
+        assert mem.used(tag) == 40
+
+    def test_capacity_enforced(self):
+        mem = TagMemory(capacity_bytes=64)
+        tag = EPC(TagKind.ITEM, 0)
+        mem.write(tag, "a", b"x" * 40)
+        with pytest.raises(TagMemoryError):
+            mem.write(tag, "b", b"y" * 40)
+        # Overwriting the same section frees its old bytes first.
+        mem.write(tag, "a", b"z" * 60)
+        assert mem.used(tag) == 60
+
+
+class TestSharing:
+    @given(
+        base=st.binary(min_size=0, max_size=60),
+        target=st.binary(min_size=0, max_size=60),
+    )
+    @settings(max_examples=50)
+    def test_diff_round_trip(self, base, target):
+        assert apply_diff(base, state_diff(base, target)) == target
+
+    def test_byte_distance_zero_for_identical(self):
+        assert byte_distance(b"abcdef", b"abcdef") == 0
+        assert byte_distance(b"", b"abc") == 3
+
+    def test_centroid_bundle_lossless(self):
+        states = {
+            EPC(TagKind.ITEM, i): bytes([1, 2, 3, i, 5, 6, 7, 8]) for i in range(6)
+        }
+        bundle = centroid_compress(states)
+        assert bundle.reconstruct() == states
+
+    def test_sharing_compresses_similar_states(self):
+        common = bytes(range(48))
+        states = {
+            EPC(TagKind.ITEM, i): common + bytes([i]) for i in range(12)
+        }
+        bundle = centroid_compress(states)
+        raw = sum(len(s) for s in states.values())
+        assert bundle.byte_size() < raw / 2
+
+    def test_bundle_wire_round_trip(self):
+        states = {EPC(TagKind.ITEM, i): bytes([i] * 10) for i in range(3)}
+        bundle = centroid_compress(states)
+        back = SharedStateBundle.from_bytes(bundle.to_bytes())
+        assert back.reconstruct() == states
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid_compress({})
+
+
+@pytest.fixture(scope="module")
+def deployments(multi_site_chain):
+    config = ServiceConfig(run_interval=300, recent_history=600,
+                           truncation="cr", emit_events=False)
+    out = {}
+    for strategy in ("none", "collapsed"):
+        dep = DistributedDeployment(multi_site_chain, config, strategy=strategy)
+        dep.run()
+        out[strategy] = dep
+    central = CentralizedDeployment(multi_site_chain, config)
+    central.run()
+    out["centralized"] = central
+    return out
+
+
+class TestDistributed:
+    def test_none_ships_zero_bytes(self, deployments):
+        assert deployments["none"].communication_bytes() == 0
+
+    def test_collapsed_beats_none_on_accuracy(self, deployments):
+        assert (
+            deployments["collapsed"].containment_error()
+            <= deployments["none"].containment_error() + 1e-9
+        )
+
+    def test_collapsed_far_cheaper_than_centralized(self, deployments):
+        collapsed = deployments["collapsed"].communication_bytes()
+        central = deployments["centralized"].communication_bytes()
+        assert 0 < collapsed < central
+
+    def test_migrations_recorded(self, deployments):
+        migrations = deployments["collapsed"].migrations
+        assert migrations
+        for event in migrations[:20]:
+            assert event.src != event.dst
+            assert event.bytes_sent > 0
+
+    def test_centralized_accuracy_best_or_close(self, deployments):
+        assert deployments["centralized"].containment_error() <= (
+            deployments["none"].containment_error() + 0.05
+        )
+
+
+class TestMergeSites:
+    def test_merged_trace_preserves_readings(self, multi_site_chain):
+        trace, truth, offsets = merge_sites(multi_site_chain)
+        assert len(trace) == sum(len(t) for t in multi_site_chain.traces)
+        assert offsets[0] == 0
+        assert trace.layout.n_locations == sum(
+            l.n_locations for l in multi_site_chain.layouts
+        )
+
+    def test_truth_remapped_consistently(self, multi_site_chain):
+        trace, truth, offsets = merge_sites(multi_site_chain)
+        tag = multi_site_chain.truth.cases()[0]
+        for probe in (50, 400, 900):
+            original = multi_site_chain.truth.location_at(tag, probe)
+            merged = truth.location_at(tag, probe)
+            if original.site < 0:
+                assert merged.site < 0
+            else:
+                assert merged.place == offsets[original.site] + original.place

@@ -1,0 +1,65 @@
+"""Tests for the hierarchical-containment extension (Appendix A.4)."""
+
+import pytest
+
+from repro.core.hierarchy import infer_hierarchy
+from repro.core.likelihood import TraceWindow
+from repro.sim.tags import TagKind
+
+
+@pytest.fixture(scope="module")
+def hierarchy(small_chain):
+    # Evaluate while the first pallets are still assembled (pallets are
+    # only co-located with their cases at the doors).
+    window = TraceWindow.from_range(small_chain.trace, 0, 400)
+    return small_chain, infer_hierarchy(window)
+
+
+class TestHierarchy:
+    def test_item_level_matches_truth(self, hierarchy):
+        chain, result = hierarchy
+        truth = chain.truth
+        items = [i for i in result.items_level.containment if i.kind is TagKind.ITEM]
+        assert items
+        right = sum(
+            1
+            for i in items
+            if result.case_of(i) == truth.container_at(i, 399)
+        )
+        assert right / len(items) >= 0.8
+
+    def test_case_level_assigns_pallets(self, hierarchy):
+        chain, result = hierarchy
+        assigned = [
+            c
+            for c in result.cases_level.containment
+            if result.pallet_of(c) is not None
+        ]
+        assert assigned
+        for case in assigned:
+            assert result.pallet_of(case).kind is TagKind.PALLET
+
+    def test_case_level_accuracy_at_assembly_time(self, hierarchy):
+        chain, result = hierarchy
+        truth = chain.truth
+        scored = 0
+        right = 0
+        for case, pallet in result.cases_level.containment.items():
+            if pallet is None:
+                continue
+            # Score against the truth while the pallet was intact (the
+            # case's container before unpacking, at its first epoch).
+            true_pallet = truth.container_at(case, 1)
+            if true_pallet is None:
+                continue
+            scored += 1
+            right += pallet == true_pallet
+        assert scored > 0
+        assert right / scored >= 0.7
+
+    def test_chain_accessor(self, hierarchy):
+        _, result = hierarchy
+        item = next(iter(result.items_level.containment))
+        case, pallet = result.chain_of(item)
+        assert case is None or case.kind is TagKind.CASE
+        assert pallet is None or pallet.kind is TagKind.PALLET

@@ -1,0 +1,103 @@
+"""Tests for the vectorized likelihood plumbing (TraceWindow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.likelihood import TraceWindow, row_softmax
+from repro.sim.tags import EPC, TagKind
+
+
+@pytest.fixture(scope="module")
+def window(small_chain):
+    return TraceWindow.from_range(small_chain.trace, 0, 600)
+
+
+class TestTraceWindow:
+    def test_rows_are_sorted_unique(self, window):
+        assert (np.diff(window.epochs) > 0).all()
+
+    def test_row_of_round_trip(self, window):
+        for epoch in (0, 100, 599):
+            assert window.epochs[window.row_of(epoch)] == epoch
+        with pytest.raises(KeyError):
+            window.row_of(600)
+
+    def test_tag_rows_match_trace(self, window, small_chain):
+        tag = window.tags(TagKind.CASE)[0]
+        rows, readers = window.tag_rows(tag)
+        raw = small_chain.trace.tag_readings_in(tag, 0, 600)
+        assert rows.size == len(raw)
+        for (row, reader), (time, raw_reader) in zip(zip(rows, readers), raw):
+            assert window.epochs[row] == time
+            assert reader == raw_reader
+
+    def test_noncontiguous_window_filters_readings(self, small_chain):
+        epochs = list(range(0, 100)) + list(range(300, 400))
+        window = TraceWindow(small_chain.trace, epochs)
+        assert window.n_rows == 200
+        for tag in window.tags():
+            rows, _ = window.tag_rows(tag)
+            times = window.epochs[rows]
+            assert (((times < 100)) | ((times >= 300) & (times < 400))).all()
+
+    def test_group_posterior_rows_normalized(self, window):
+        tag = window.tags(TagKind.CASE)[0]
+        q = window.group_posterior([tag])
+        assert q.shape == (window.n_rows, window.n_states)
+        np.testing.assert_allclose(q.sum(axis=1), 1.0)
+        assert (q >= 0).all()
+
+    def test_scatter_matches_manual(self, window):
+        tag = window.tags(TagKind.ITEM)[0]
+        out = np.zeros((window.n_rows, window.n_states))
+        window.scatter([tag], out)
+        rows, readers = window.tag_rows(tag)
+        manual = np.zeros_like(out)
+        for row, reader in zip(rows, readers):
+            manual[row] += window.model.delta[reader]
+        np.testing.assert_allclose(out, manual)
+
+    def test_point_evidence_sums_to_weight(self, window):
+        case = window.tags(TagKind.CASE)[0]
+        item = window.tags(TagKind.ITEM)[0]
+        q = window.group_posterior([case, item])
+        evidence = window.point_evidence(q, item)
+        assert evidence.sum() == pytest.approx(window.weight(q, item), rel=1e-9)
+
+    def test_weight_with_mask_restricts_rows(self, window):
+        case = window.tags(TagKind.CASE)[0]
+        item = window.tags(TagKind.ITEM)[0]
+        q = window.group_posterior([case, item])
+        mask = window.rows_in_ranges([(0, 300)])
+        masked = window.weight(q, item, mask)
+        full = window.weight(q, item)
+        evidence = window.point_evidence(q, item)
+        assert masked == pytest.approx(evidence[mask].sum())
+        assert masked != pytest.approx(full)
+
+    def test_rows_in_ranges_union(self, window):
+        mask = window.rows_in_ranges([(0, 10), (20, 30)])
+        assert mask.sum() == 20
+        assert mask[0] and not mask[15] and mask[25]
+
+    def test_away_evidence_penalizes_readings(self, window):
+        item = window.tags(TagKind.ITEM)[0]
+        away = window.away_evidence(item)
+        rows, _ = window.tag_rows(item)
+        # Rows with readings must carry the ~log(eps) penalty.
+        assert (away[rows] < -10).all()
+        silent = np.setdiff1d(np.arange(window.n_rows), rows)
+        assert (away[silent] > -0.01).all()
+
+    def test_requires_at_least_one_epoch(self, small_chain):
+        with pytest.raises(ValueError):
+            TraceWindow(small_chain.trace, [])
+
+
+class TestRowSoftmax:
+    def test_matches_manual(self):
+        logits = np.array([[0.0, 1.0, 2.0], [-5.0, -5.0, -5.0]])
+        out = row_softmax(logits)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+        np.testing.assert_allclose(out[1], 1 / 3)
+        assert out[0, 2] > out[0, 1] > out[0, 0]

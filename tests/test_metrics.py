@@ -1,0 +1,103 @@
+"""Tests for error-rate and F-measure metrics."""
+
+import pytest
+
+from repro.core.changepoint import ChangePoint
+from repro.metrics.accuracy import containment_error_rate
+from repro.metrics.fmeasure import FMeasure, change_detection_fmeasure, match_alerts
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import ContainmentChange, GroundTruth
+
+
+def item(i):
+    return EPC(TagKind.ITEM, i)
+
+
+def case(i):
+    return EPC(TagKind.CASE, i)
+
+
+class TestContainmentError:
+    def test_counts_mismatches(self):
+        truth = GroundTruth()
+        for i in range(4):
+            truth.record_container(item(i), 0, case(0))
+            truth.record_location(item(i), 0, None)
+        estimate = {item(0): case(0), item(1): case(0), item(2): case(1), item(3): None}
+        err = containment_error_rate(truth, estimate, 10, [item(i) for i in range(4)])
+        assert err == pytest.approx(0.5)
+
+    def test_empty_objects(self):
+        assert containment_error_rate(GroundTruth(), {}, 0, []) == 0.0
+
+    def test_respects_time(self):
+        truth = GroundTruth()
+        truth.record_location(item(0), 0, None)
+        truth.record_container(item(0), 0, case(0))
+        truth.record_container(item(0), 50, case(1))
+        estimate = {item(0): case(0)}
+        assert containment_error_rate(truth, estimate, 10, [item(0)]) == 0.0
+        assert containment_error_rate(truth, estimate, 60, [item(0)]) == 1.0
+
+
+class TestFMeasure:
+    def test_f1_math(self):
+        fm = FMeasure.from_counts(true_positives=8, predicted=10, actual=16)
+        assert fm.precision == pytest.approx(0.8)
+        assert fm.recall == pytest.approx(0.5)
+        assert fm.f1 == pytest.approx(2 * 0.8 * 0.5 / 1.3)
+
+    def test_zero_cases(self):
+        fm = FMeasure.from_counts(0, 0, 0)
+        assert fm.precision == fm.recall == fm.f1 == 0.0
+
+    def test_match_alerts_greedy_one_to_one(self):
+        actual = [("a", 100), ("a", 200)]
+        predicted = [("a", 105), ("a", 110), ("a", 195)]
+        fm = match_alerts(predicted, actual, tolerance=20)
+        assert fm.true_positives == 2  # each actual matched at most once
+        assert fm.predicted == 3 and fm.actual == 2
+
+    def test_match_alerts_respects_tolerance(self):
+        fm = match_alerts([("a", 100)], [("a", 200)], tolerance=50)
+        assert fm.true_positives == 0
+
+
+class TestChangeDetectionFMeasure:
+    def make_truth_change(self, i, t, new=None):
+        return ContainmentChange(t, item(i), case(0), new or case(1))
+
+    def test_perfect_detection(self):
+        truth = [self.make_truth_change(0, 100), self.make_truth_change(1, 300)]
+        detected = [
+            ChangePoint(item(0), 110, case(0), case(1), 50.0),
+            ChangePoint(item(1), 290, case(0), case(1), 60.0),
+        ]
+        fm = change_detection_fmeasure(truth, detected, tolerance=50)
+        assert fm.f1 == pytest.approx(1.0)
+
+    def test_wrong_tag_is_false_positive(self):
+        truth = [self.make_truth_change(0, 100)]
+        detected = [ChangePoint(item(9), 100, case(0), case(1), 50.0)]
+        fm = change_detection_fmeasure(truth, detected, tolerance=50)
+        assert fm.true_positives == 0
+
+    def test_container_requirement(self):
+        truth = [self.make_truth_change(0, 100, new=case(2))]
+        detected = [ChangePoint(item(0), 100, case(0), case(1), 50.0)]
+        loose = change_detection_fmeasure(truth, detected, tolerance=50)
+        strict = change_detection_fmeasure(
+            truth, detected, tolerance=50, require_container=True
+        )
+        assert loose.true_positives == 1
+        assert strict.true_positives == 0
+
+    def test_duplicate_detections_counted_once(self):
+        truth = [self.make_truth_change(0, 100)]
+        detected = [
+            ChangePoint(item(0), 95, case(0), case(1), 50.0),
+            ChangePoint(item(0), 105, case(0), case(1), 50.0),
+        ]
+        fm = change_detection_fmeasure(truth, detected, tolerance=50)
+        assert fm.true_positives == 1
+        assert fm.predicted == 2

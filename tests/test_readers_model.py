@@ -1,0 +1,120 @@
+"""Tests for the observation model and reading sampler."""
+
+import numpy as np
+import pytest
+
+from repro._util.rng import spawn_rng
+from repro.sim.layout import warehouse_layout
+from repro.sim.readers import ObservationSampler, ReadRateModel
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import Location
+from repro.sim.world import World
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return warehouse_layout(n_shelves=4)
+
+
+@pytest.fixture(scope="module")
+def model(layout):
+    return ReadRateModel.build(layout, main_rate=0.8, overlap_rate=0.5, seed=5)
+
+
+class TestReadRateModel:
+    def test_diagonal_is_main_rate(self, model):
+        np.testing.assert_allclose(np.diagonal(model.pi), 0.8)
+
+    def test_overlap_is_symmetric(self, layout, model):
+        for a, b in layout.adjacent_pairs:
+            assert model.pi[a, b] == model.pi[b, a] == 0.5
+
+    def test_far_pairs_are_epsilon(self, layout, model):
+        entry, exit_ = layout.entry, layout.exit
+        assert model.pi[entry, exit_] == pytest.approx(model.epsilon)
+
+    def test_sampled_rates_stay_in_range(self, layout):
+        ranged = ReadRateModel.build(
+            layout, main_rate=(0.6, 1.0), overlap_rate=(0.2, 0.8), seed=9
+        )
+        diag = np.diagonal(ranged.pi)
+        assert ((diag >= 0.6) & (diag <= 1.0)).all()
+
+    def test_away_column_exists(self, layout, model):
+        assert model.n_states == layout.n_locations + 1
+        assert model.log_pi.shape == (layout.n_locations, model.n_states)
+        # A reading is (almost) impossible for an away tag.
+        assert np.exp(model.log_pi[0, model.away_index]) == pytest.approx(
+            model.epsilon
+        )
+
+    def test_base_vector_matches_manual_sum(self, layout, model):
+        key = 0  # all readers active (shelves synchronized at phase 0)
+        base = model.base_vector(key)
+        manual = sum(
+            model.log_miss[r] for r in layout.active_readers(key)
+        )
+        np.testing.assert_allclose(base, manual)
+
+    def test_base_matrix_rows_match_keys(self, model):
+        epochs = np.array([0, 1, 10, 11])
+        matrix = model.base_matrix(epochs)
+        np.testing.assert_allclose(matrix[0], matrix[2])
+        np.testing.assert_allclose(matrix[1], matrix[3])
+
+    def test_rejects_bad_shapes_and_rates(self, layout):
+        with pytest.raises(ValueError):
+            ReadRateModel(layout, np.full((2, 2), 0.5))
+        bad = np.full((layout.n_locations, layout.n_locations), 0.5)
+        bad[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            ReadRateModel(layout, bad)
+
+
+class TestObservationSampler:
+    def test_read_rate_statistics(self, layout):
+        """Sampled readings hit the main read rate within tolerance."""
+        model = ReadRateModel.build(layout, main_rate=0.7, overlap_rate=0.5, seed=2)
+        world = World()
+        tag = EPC(TagKind.CASE, 0)
+        world.register(tag, 0, location=Location(0, layout.entry))
+        horizon = 4000
+        world.truth.horizon = horizon
+        trace = ObservationSampler(seed=3).sample_site(
+            world.truth, 0, layout, model, horizon
+        )
+        hits = [r for r in trace.readings if r.reader == layout.entry]
+        rate = len(hits) / horizon
+        assert rate == pytest.approx(0.7, abs=0.03)
+
+    def test_no_readings_when_away(self, layout, model):
+        world = World()
+        tag = EPC(TagKind.CASE, 1)
+        world.register(tag, 0)  # registered AWAY, never placed
+        world.truth.horizon = 500
+        trace = ObservationSampler(seed=4).sample_site(
+            world.truth, 0, layout, model, 500
+        )
+        assert len(trace) == 0
+
+    def test_shelf_reader_respects_schedule(self, layout, model):
+        world = World()
+        tag = EPC(TagKind.CASE, 2)
+        shelf = layout.shelf_indices[0]
+        world.register(tag, 0, location=Location(0, shelf))
+        world.truth.horizon = 1000
+        trace = ObservationSampler(seed=5).sample_site(
+            world.truth, 0, layout, model, 1000
+        )
+        for reading in trace.readings:
+            spec = layout.specs[reading.reader]
+            assert spec.is_active(reading.time)
+
+    def test_deterministic_given_seed(self, layout, model):
+        world = World()
+        tag = EPC(TagKind.CASE, 3)
+        world.register(tag, 0, location=Location(0, layout.entry))
+        world.truth.horizon = 300
+        t1 = ObservationSampler(seed=8).sample_site(world.truth, 0, layout, model, 300)
+        t2 = ObservationSampler(seed=8).sample_site(world.truth, 0, layout, model, 300)
+        assert t1.readings == t2.readings

@@ -1,0 +1,148 @@
+"""Tests for tags, the DES engine, layouts, and schedules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.layout import Layout, ReaderKind, ReaderSpec, warehouse_layout
+from repro.sim.readers import active_epochs
+from repro.sim.tags import EPC, TagKind
+
+
+class TestEPC:
+    @given(st.sampled_from(list(TagKind)), st.integers(0, 10**6))
+    def test_str_parse_round_trip(self, kind, serial):
+        tag = EPC(kind, serial)
+        assert EPC.parse(str(tag)) == tag
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            EPC.parse("X-123")
+        with pytest.raises(ValueError):
+            EPC.parse("P-abc")
+
+    def test_is_container(self):
+        assert EPC(TagKind.CASE, 0).is_container
+        assert EPC(TagKind.PALLET, 0).is_container
+        assert not EPC(TagKind.ITEM, 0).is_container
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5, seen.append, "b")
+        sim.schedule_at(1, seen.append, "a")
+        sim.schedule_at(9, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_within_same_epoch(self):
+        sim = Simulator()
+        seen = []
+        for label in "abc":
+            sim.schedule_at(4, seen.append, label)
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3, seen.append, "x")
+        sim.schedule_at(30, seen.append, "y")
+        assert sim.run(until=10) == 10
+        assert seen == ["x"]
+        assert sim.pending() == 1
+
+    def test_rejects_past_events(self):
+        sim = Simulator()
+        sim.schedule_at(5, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(2, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule_at(1, outer)
+        sim.run()
+        assert seen == [("outer", 1), ("inner", 3)]
+
+
+class TestLayout:
+    def test_warehouse_layout_roles(self):
+        layout = warehouse_layout(n_shelves=4)
+        assert layout.n_locations == 7  # entry + belt + 4 shelves + exit
+        assert layout.specs[layout.entry].kind is ReaderKind.ENTRY
+        assert layout.specs[layout.belt].kind is ReaderKind.BELT
+        assert layout.specs[layout.exit].kind is ReaderKind.EXIT
+        assert len(layout.shelf_indices) == 4
+
+    def test_adjacent_pairs_are_consecutive_shelves(self):
+        layout = warehouse_layout(n_shelves=3)
+        shelf = layout.shelf_indices
+        assert layout.adjacent_pairs == ((shelf[0], shelf[1]), (shelf[1], shelf[2]))
+
+    def test_shelves_synchronized(self):
+        layout = warehouse_layout(n_shelves=4)
+        active_at_0 = layout.active_readers(0)
+        for idx in layout.shelf_indices:
+            assert idx in active_at_0
+        active_at_5 = layout.active_readers(5)
+        for idx in layout.shelf_indices:
+            assert idx not in active_at_5
+
+    def test_pattern_period(self):
+        layout = warehouse_layout(n_shelves=2, shelf_period=10)
+        assert layout.pattern_period == 10
+        assert layout.pattern_key(23) == 3
+
+    def test_mobile_sweep_visits_shelves_in_turn(self):
+        layout = warehouse_layout(n_shelves=3, mobile_shelf_scan=True, mobile_dwell=10)
+        # At epoch 0-9 shelf 0 is scanned; 10-19 shelf 1; etc.
+        s0, s1, s2 = layout.shelf_indices
+        assert layout.specs[s0].is_active(5)
+        assert not layout.specs[s1].is_active(5)
+        assert layout.specs[s1].is_active(15)
+        assert layout.specs[s2].is_active(25)
+        assert layout.specs[s0].is_active(35 - 30 + 0)  # wraps around
+
+    def test_reader_spec_validation(self):
+        with pytest.raises(ValueError):
+            ReaderSpec("bad", ReaderKind.SHELF, period=0)
+        with pytest.raises(ValueError):
+            ReaderSpec("bad", ReaderKind.SHELF, period=5, burst=6)
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ValueError):
+            Layout("empty", [])
+
+
+class TestActiveEpochs:
+    @given(
+        st.integers(1, 12),
+        st.integers(0, 11),
+        st.integers(1, 6),
+        st.integers(0, 40),
+        st.integers(0, 40),
+    )
+    def test_matches_is_active(self, period, phase, burst, start, length):
+        burst = min(burst, period)
+        spec = ReaderSpec("r", ReaderKind.SHELF, period=period, phase=phase, burst=burst)
+        end = start + length
+        fast = set(active_epochs(spec, start, end).tolist())
+        slow = {t for t in range(start, end) if spec.is_active(t)}
+        assert fast == slow
+
+    def test_empty_range(self):
+        spec = ReaderSpec("r", ReaderKind.SHELF, period=10)
+        assert active_epochs(spec, 5, 5).size == 0

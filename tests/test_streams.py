@@ -1,0 +1,162 @@
+"""Tests for stream operators, pattern matching, and state encoding."""
+
+from typing import NamedTuple
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.streams.engine import StreamScheduler, merge_by_time
+from repro.streams.operators import Filter, LatestByKey, Map, NowJoin
+from repro.streams.pattern import KleeneDurationPattern, PatternState
+from repro.streams.state import decode_pattern_state, encode_pattern_state
+
+
+class Tick(NamedTuple):
+    time: int
+    key: str
+    value: float
+
+
+class TestOperators:
+    def test_filter_and_map_chain(self):
+        out = []
+        filt = Filter(lambda t: t.value > 0)
+        mapper = Map(lambda t: t.value * 2)
+        filt.subscribe(mapper)
+        mapper.subscribe(out.append)
+        for tick in (Tick(0, "a", 1.0), Tick(1, "a", -1.0), Tick(2, "a", 3.0)):
+            filt.push(tick)
+        assert out == [2.0, 6.0]
+
+    def test_latest_by_key_keeps_newest(self):
+        table = LatestByKey(lambda t: t.key)
+        table.push(Tick(0, "a", 1.0))
+        table.push(Tick(5, "a", 9.0))
+        table.push(Tick(3, "b", 2.0))
+        assert table.lookup("a").value == 9.0
+        assert table.lookup("b").value == 2.0
+        assert table.lookup("zzz") is None
+        assert len(table) == 2
+
+    def test_now_join_probes_table(self):
+        table = LatestByKey(lambda t: t.key)
+        table.push(Tick(0, "a", 20.0))
+        out = []
+        join = NowJoin(
+            table,
+            probe_key=lambda t: t.key,
+            combine=lambda left, right: (left.time, right.value),
+            where=lambda left, right: right.value > 10,
+        )
+        join.subscribe(out.append)
+        join.push(Tick(7, "a", 0.0))
+        join.push(Tick(8, "missing", 0.0))
+        table.push(Tick(9, "a", 5.0))
+        join.push(Tick(10, "a", 0.0))  # filtered by where
+        assert out == [(7, 20.0)]
+
+
+class TestScheduler:
+    def test_merge_orders_by_time(self):
+        a = [Tick(0, "a", 0), Tick(4, "a", 0)]
+        b = [Tick(1, "b", 0), Tick(3, "b", 0)]
+        merged = list(merge_by_time(a, b))
+        assert [t.time for t in merged] == [0, 1, 3, 4]
+
+    def test_routes_by_type(self):
+        class Other(NamedTuple):
+            time: int
+
+        ticks, others = [], []
+        sched = StreamScheduler()
+        sched.route(Tick, ticks.append)
+        sched.route(Other, others.append)
+        n = sched.run([Tick(0, "a", 0), Tick(2, "a", 0)], [Other(1)])
+        assert n == 3
+        assert len(ticks) == 2 and len(others) == 1
+
+
+class TestPattern:
+    def make(self, duration=10):
+        return KleeneDurationPattern(
+            key_fn=lambda t: t.key,
+            time_fn=lambda t: t.time,
+            value_fn=lambda t: t.value,
+            duration=duration,
+        )
+
+    def test_fires_after_duration(self):
+        pattern = self.make(duration=10)
+        for time in (0, 5, 11):
+            pattern.push(Tick(time, "x", float(time)))
+        assert len(pattern.alerts) == 1
+        alert = pattern.alerts[0]
+        assert alert.key == "x"
+        assert alert.start_time == 0 and alert.end_time == 11
+        assert alert.values == (0.0, 5.0, 11.0)
+
+    def test_does_not_fire_below_duration(self):
+        pattern = self.make(duration=10)
+        pattern.push(Tick(0, "x", 1.0))
+        pattern.push(Tick(10, "x", 1.0))  # span must strictly exceed
+        assert pattern.alerts == []
+
+    def test_reset_breaks_run(self):
+        pattern = self.make(duration=10)
+        pattern.push(Tick(0, "x", 1.0))
+        pattern.reset_key("x", 4)
+        pattern.push(Tick(5, "x", 1.0))
+        pattern.push(Tick(12, "x", 1.0))  # span 7 from restart: no alert
+        assert pattern.alerts == []
+        pattern.push(Tick(16, "x", 1.0))  # span 11: fires
+        assert len(pattern.alerts) == 1
+
+    def test_partitions_are_independent(self):
+        pattern = self.make(duration=5)
+        pattern.push(Tick(0, "x", 1.0))
+        pattern.push(Tick(0, "y", 1.0))
+        pattern.push(Tick(6, "x", 1.0))
+        assert [a.key for a in pattern.alerts] == ["x"]
+
+    def test_fires_once_per_run(self):
+        pattern = self.make(duration=5)
+        for time in (0, 6, 7, 8):
+            pattern.push(Tick(time, "x", 1.0))
+        assert len(pattern.alerts) == 1
+
+    def test_max_values_caps_state(self):
+        pattern = KleeneDurationPattern(
+            key_fn=lambda t: t.key,
+            time_fn=lambda t: t.time,
+            value_fn=lambda t: t.value,
+            duration=1000,
+            max_values=4,
+        )
+        for time in range(20):
+            pattern.push(Tick(time, "x", 1.0))
+        assert len(pattern.state_of("x").values) == 4
+
+    def test_export_import_state(self):
+        pattern = self.make(duration=10)
+        pattern.push(Tick(0, "x", 1.0))
+        exported = pattern.export_state("x")
+        other = self.make(duration=10)
+        other.import_state("x", exported)
+        other.push(Tick(11, "x", 2.0))
+        assert len(other.alerts) == 1
+
+
+class TestStateEncoding:
+    @given(
+        stage=st.integers(0, 2),
+        start=st.integers(0, 10**6),
+        last=st.integers(0, 10**6),
+        values=st.lists(st.floats(-100, 100, width=32), max_size=16),
+    )
+    def test_round_trip(self, stage, start, last, values):
+        state = PatternState(stage, start, last, list(values))
+        back = decode_pattern_state(encode_pattern_state(state))
+        assert back.stage == stage
+        assert back.start_time == start
+        assert back.last_time == last
+        assert back.values == pytest.approx(values)

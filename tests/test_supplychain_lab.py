@@ -1,0 +1,94 @@
+"""Tests for the supply-chain DAG simulation and lab trace generator."""
+
+from repro.sim.lab import LAB_PROFILES, generate_lab_trace
+from repro.sim.supplychain import SupplyChainParams, simulate
+from repro.sim.tags import TagKind
+from repro.sim.trace import AWAY
+
+
+class TestSupplyChain:
+    def test_population_counts(self, small_chain):
+        params = small_chain.params
+        pallets = len(small_chain.truth.pallets())
+        assert len(small_chain.truth.cases()) == pallets * params.cases_per_pallet
+        assert (
+            len(small_chain.truth.items())
+            == pallets * params.cases_per_pallet * params.items_per_case
+        )
+
+    def test_items_start_in_their_case(self, small_chain):
+        truth = small_chain.truth
+        for item in truth.items()[:20]:
+            container = truth.container_at(item, 1)
+            assert container is not None
+            assert container.kind is TagKind.CASE
+
+    def test_no_changes_without_anomalies(self, small_chain):
+        assert small_chain.truth.changes == []
+
+    def test_anomalies_recorded(self, anomaly_chain):
+        assert len(anomaly_chain.truth.changes) > 3
+        for change in anomaly_chain.truth.changes:
+            assert change.tag.kind is TagKind.ITEM
+
+    def test_objects_reach_second_site(self, multi_site_chain):
+        sites_seen = {t.site for t in multi_site_chain.traces if len(t) > 0}
+        assert {0, 1} <= sites_seen
+
+    def test_readings_sorted_and_in_horizon(self, small_chain):
+        trace = small_chain.trace
+        times = [r.time for r in trace.readings]
+        assert times == sorted(times)
+        assert times[-1] < small_chain.params.horizon
+
+    def test_deterministic_given_seed(self):
+        params = SupplyChainParams(horizon=400, items_per_case=4, seed=77)
+        a = simulate(params)
+        b = simulate(params)
+        assert a.trace.readings == b.trace.readings
+
+    def test_dag_round_robin_dispatch(self):
+        params = SupplyChainParams(
+            n_warehouses=3,
+            edges=((0, 1), (0, 2)),
+            horizon=1600,
+            items_per_case=4,
+            injection_period=120,
+            seed=5,
+        )
+        result = simulate(params)
+        # Both successor warehouses eventually observe objects.
+        assert len(result.traces[1]) > 0
+        assert len(result.traces[2]) > 0
+
+
+class TestLab:
+    def test_profiles_cover_t1_to_t8(self):
+        assert set(LAB_PROFILES) == {f"T{i}" for i in range(1, 9)}
+
+    def test_stable_profiles_have_no_changes(self):
+        lab = generate_lab_trace("T2", seed=1)
+        assert lab.truth.changes == []
+
+    def test_change_profiles_inject_three_moves_and_one_removal(self):
+        lab = generate_lab_trace("T6", seed=1)
+        assert len(lab.truth.changes) == 4
+        removals = [c for c in lab.truth.changes if c.new_container is None]
+        moves = [c for c in lab.truth.changes if c.new_container is not None]
+        assert len(removals) == 1
+        assert len(moves) == 3
+
+    def test_removed_item_goes_away(self):
+        lab = generate_lab_trace("T5", seed=2)
+        removal = next(c for c in lab.truth.changes if c.new_container is None)
+        assert lab.truth.location_at(removal.tag, removal.time + 1) == AWAY
+
+    def test_population(self):
+        lab = generate_lab_trace("T1", seed=0)
+        assert len(lab.truth.cases()) == 20
+        assert len(lab.truth.items()) == 100
+
+    def test_lower_read_rate_fewer_readings(self):
+        high = generate_lab_trace("T1", seed=3)  # RR 0.85
+        low = generate_lab_trace("T3", seed=3)  # RR 0.70
+        assert len(low.trace) < len(high.trace)

@@ -1,0 +1,59 @@
+"""Tests for trace persistence (CSV readings + JSON model sidecar)."""
+
+import numpy as np
+import pytest
+
+from repro.core.likelihood import TraceWindow
+from repro.core.rfinfer import RFInfer
+from repro.sim.traceio import read_model, read_trace, write_model, write_trace
+
+
+class TestTraceRoundTrip:
+    def test_readings_survive(self, small_chain, tmp_path):
+        trace = small_chain.trace
+        write_trace(trace, tmp_path / "readings.csv", tmp_path / "model.json")
+        back = read_trace(tmp_path / "readings.csv", tmp_path / "model.json")
+        assert back.readings == trace.readings
+        assert back.horizon == trace.horizon
+        assert back.site == trace.site
+
+    def test_model_survives(self, small_chain, tmp_path):
+        trace = small_chain.trace
+        write_trace(trace, tmp_path / "r.csv", tmp_path / "m.json")
+        model, site, horizon = read_model(tmp_path / "m.json")
+        np.testing.assert_allclose(model.pi, trace.model.pi)
+        assert model.layout.n_locations == trace.layout.n_locations
+        assert [s.name for s in model.layout.specs] == [
+            s.name for s in trace.layout.specs
+        ]
+        assert model.epsilon == trace.model.epsilon
+
+    def test_inference_identical_after_round_trip(self, small_chain, tmp_path):
+        trace = small_chain.trace
+        write_trace(trace, tmp_path / "r.csv", tmp_path / "m.json")
+        back = read_trace(tmp_path / "r.csv", tmp_path / "m.json")
+        a = RFInfer(TraceWindow.from_range(trace, 0, 500)).run()
+        b = RFInfer(TraceWindow.from_range(back, 0, 500)).run()
+        assert a.containment == b.containment
+
+    def test_bad_header_rejected(self, tmp_path):
+        (tmp_path / "bad.csv").write_text("a,b,c\n1,2,3\n")
+        write_model(
+            __import__("repro.sim.readers", fromlist=["ReadRateModel"]).ReadRateModel.build(
+                __import__("repro.sim.layout", fromlist=["warehouse_layout"]).warehouse_layout()
+            ),
+            tmp_path / "m.json",
+        )
+        with pytest.raises(ValueError):
+            read_trace(tmp_path / "bad.csv", tmp_path / "m.json")
+
+    def test_horizon_inferred_when_missing(self, small_chain, tmp_path):
+        trace = small_chain.trace
+        write_trace(trace, tmp_path / "r.csv", tmp_path / "m.json")
+        import json
+
+        payload = json.loads((tmp_path / "m.json").read_text())
+        payload["horizon"] = None
+        (tmp_path / "m.json").write_text(json.dumps(payload))
+        back = read_trace(tmp_path / "r.csv", tmp_path / "m.json")
+        assert back.horizon == trace.readings[-1].time + 1

@@ -1,0 +1,164 @@
+"""Tests for repro._util: intervals, encoding, log math, RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro._util.intervals import IntervalMap
+from repro._util.logmath import log_normalize, logsumexp
+from repro._util.rng import spawn_rng
+
+
+class TestIntervalMap:
+    def test_default_before_first_breakpoint(self):
+        imap = IntervalMap(default="nowhere")
+        imap.set_from(10, "a")
+        assert imap.value_at(9) == "nowhere"
+        assert imap.value_at(10) == "a"
+        assert imap.value_at(10_000) == "a"
+
+    def test_multiple_breakpoints(self):
+        imap = IntervalMap()
+        imap.set_from(0, "a")
+        imap.set_from(5, "b")
+        imap.set_from(9, "c")
+        assert [imap.value_at(t) for t in (0, 4, 5, 8, 9)] == ["a", "a", "b", "b", "c"]
+
+    def test_same_time_overwrites(self):
+        imap = IntervalMap()
+        imap.set_from(3, "a")
+        imap.set_from(3, "b")
+        assert imap.value_at(3) == "b"
+        assert len(imap) == 1
+
+    def test_redundant_value_is_coalesced(self):
+        imap = IntervalMap()
+        imap.set_from(0, "a")
+        imap.set_from(5, "a")
+        assert len(imap) == 1
+
+    def test_rejects_out_of_order(self):
+        imap = IntervalMap()
+        imap.set_from(5, "a")
+        with pytest.raises(ValueError):
+            imap.set_from(4, "b")
+
+    def test_segments_cover_range_exactly(self):
+        imap = IntervalMap(default="d")
+        imap.set_from(5, "a")
+        imap.set_from(12, "b")
+        segs = list(imap.segments(0, 20))
+        assert segs == [(0, 5, "d"), (5, 12, "a"), (12, 20, "b")]
+        # Segments tile the queried range with no gaps or overlaps.
+        for (s1, e1, _), (s2, e2, _) in zip(segs, segs[1:]):
+            assert e1 == s2
+
+    def test_segments_empty_range(self):
+        imap = IntervalMap()
+        assert list(imap.segments(7, 7)) == []
+
+    def test_final_value(self):
+        imap = IntervalMap(default="d")
+        assert imap.final_value() == "d"
+        imap.set_from(1, "x")
+        assert imap.final_value() == "x"
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=20))
+    def test_value_at_matches_linear_scan(self, times):
+        times = sorted(set(times))
+        imap = IntervalMap(default=-1)
+        for i, t in enumerate(times):
+            imap.set_from(t, i)
+        for probe in range(0, 105):
+            expected = -1
+            for i, t in enumerate(times):
+                if t <= probe:
+                    expected = i
+            assert imap.value_at(probe) == expected
+
+
+class TestEncoding:
+    @given(st.lists(st.integers(0, 2**63 - 1), max_size=30))
+    def test_varint_round_trip(self, values):
+        writer = ByteWriter()
+        for v in values:
+            writer.varint(v)
+        reader = ByteReader(writer.getvalue())
+        assert [reader.varint() for _ in values] == values
+        assert reader.exhausted()
+
+    @given(st.lists(st.integers(-(2**31), 2**31), max_size=30))
+    def test_svarint_round_trip(self, values):
+        writer = ByteWriter()
+        for v in values:
+            writer.svarint(v)
+        reader = ByteReader(writer.getvalue())
+        assert [reader.svarint() for _ in values] == values
+
+    @given(st.text(max_size=50), st.binary(max_size=50))
+    def test_text_and_blob_round_trip(self, text, blob):
+        writer = ByteWriter().text(text).blob(blob)
+        reader = ByteReader(writer.getvalue())
+        assert reader.text() == text
+        assert reader.blob() == blob
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ByteWriter().varint(-1)
+
+    def test_truncated_varint_raises(self):
+        with pytest.raises(EOFError):
+            ByteReader(b"\x80").varint()
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float64_round_trip(self, value):
+        data = ByteWriter().float64(value).getvalue()
+        assert ByteReader(data).float64() == value
+
+
+class TestLogMath:
+    def test_logsumexp_matches_naive(self):
+        values = np.array([-1.0, -2.0, -3.0])
+        assert logsumexp(values) == pytest.approx(np.log(np.exp(values).sum()))
+
+    def test_logsumexp_handles_large_values(self):
+        values = np.array([1000.0, 1000.0])
+        assert logsumexp(values) == pytest.approx(1000.0 + np.log(2))
+
+    def test_logsumexp_all_neg_inf(self):
+        assert logsumexp(np.array([-np.inf, -np.inf])) == -np.inf
+
+    @given(
+        st.lists(st.floats(-50, 50), min_size=1, max_size=10).map(np.array)
+    )
+    def test_log_normalize_is_distribution(self, values):
+        probs = log_normalize(values)
+        assert probs.shape == values.shape
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs >= 0).all()
+
+    def test_log_normalize_zero_evidence_is_uniform(self):
+        probs = log_normalize(np.array([-np.inf] * 4))
+        np.testing.assert_allclose(probs, 0.25)
+
+
+class TestRng:
+    def test_same_key_same_stream(self):
+        a = spawn_rng(42, "x", 3)
+        b = spawn_rng(42, "x", 3)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_different_keys_differ(self):
+        a = spawn_rng(42, "x")
+        b = spawn_rng(42, "y")
+        draws_a = a.integers(1 << 30, size=8)
+        draws_b = b.integers(1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_generator_seed_supported(self):
+        parent = spawn_rng(7, "parent")
+        child1 = spawn_rng(parent, "child")
+        parent2 = spawn_rng(7, "parent")
+        child2 = spawn_rng(parent2, "child")
+        assert child1.integers(1 << 30) == child2.integers(1 << 30)

@@ -1,0 +1,176 @@
+"""Tests for world state, warehouse lifecycle, and anomaly injection."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.layout import warehouse_layout
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import AWAY, Location
+from repro.sim.warehouse import Warehouse, WarehouseParams
+from repro.sim.world import World
+
+
+def make_world_with_case():
+    world = World()
+    case = EPC(TagKind.CASE, 0)
+    items = [EPC(TagKind.ITEM, i) for i in range(3)]
+    world.register(case, 0)
+    for item in items:
+        world.register(item, 0, container=case)
+    return world, case, items
+
+
+class TestWorld:
+    def test_move_is_recursive(self):
+        world, case, items = make_world_with_case()
+        world.move(case, 5, Location(0, 2))
+        for item in items:
+            assert world.location(item) == Location(0, 2)
+            assert world.truth.location_at(item, 5) == Location(0, 2)
+
+    def test_set_container_moves_between_cases(self):
+        world, case, items = make_world_with_case()
+        other = EPC(TagKind.CASE, 1)
+        world.register(other, 0)
+        world.set_container(items[0], 3, other, anomalous=True)
+        assert world.container(items[0]) == other
+        assert items[0] not in world.items_in(case)
+        assert items[0] in world.items_in(other)
+        assert len(world.truth.changes) == 1
+        assert world.truth.changes[0].old_container == case
+
+    def test_container_kind_check(self):
+        world, case, items = make_world_with_case()
+        with pytest.raises(ValueError):
+            world.set_container(case, 1, case)  # case cannot contain case
+
+    def test_register_twice_rejected(self):
+        world, case, _ = make_world_with_case()
+        with pytest.raises(ValueError):
+            world.register(case, 1)
+
+    def test_ground_truth_history_preserved(self):
+        world, case, items = make_world_with_case()
+        world.move(case, 5, Location(0, 1))
+        world.move(case, 10, Location(0, 3))
+        assert world.truth.location_at(case, 7) == Location(0, 1)
+        assert world.truth.location_at(case, 12) == Location(0, 3)
+        assert world.truth.location_at(case, 0) == AWAY
+
+
+class TestWarehouse:
+    def run_one_pallet(self, params=None):
+        sim = Simulator()
+        world = World()
+        layout = warehouse_layout(n_shelves=2)
+        departures = []
+        wh = Warehouse(
+            sim,
+            0,
+            layout,
+            params or WarehouseParams(shelf_dwell_mean=50, shelf_dwell_jitter=5,
+                                      cases_per_outgoing_pallet=2),
+            world,
+            lambda site, pallet, cases, t: departures.append((pallet, tuple(cases), t)),
+            seed=1,
+        )
+        pallet = EPC(TagKind.PALLET, 0)
+        cases = [EPC(TagKind.CASE, i) for i in range(2)]
+        world.register(pallet, 0)
+        for case in cases:
+            world.register(case, 0, container=pallet)
+            for j in range(2):
+                world.register(EPC(TagKind.ITEM, case.serial * 2 + j), 0, container=case)
+        wh.receive(pallet, cases, 0)
+        sim.run(until=500)
+        return world, layout, departures, cases
+
+    def test_full_lifecycle(self):
+        world, layout, departures, cases = self.run_one_pallet()
+        assert len(departures) == 1
+        pallet, dep_cases, t = departures[0]
+        assert set(dep_cases) == set(cases)
+        # All tags end up away after departure.
+        for case in cases:
+            assert world.location(case) == AWAY
+        # The trajectory passed through entry, belt, one shelf, exit.
+        truth = world.truth
+        visited = {loc.place for _, loc in truth.locations[cases[0]].breakpoints()
+                   if loc != AWAY}
+        assert layout.entry in visited
+        assert layout.belt in visited
+        assert layout.exit in visited
+        assert visited & set(layout.shelf_indices)
+
+    def test_cases_repacked_onto_pallet(self):
+        world, _, departures, cases = self.run_one_pallet()
+        pallet, dep_cases, _ = departures[0]
+        for case in dep_cases:
+            assert world.container(case) == pallet
+
+    def test_belt_serializes_cases(self):
+        world, layout, _, cases = self.run_one_pallet()
+        truth = world.truth
+        spans = []
+        for case in cases:
+            for (t, loc), (t2, _) in zip(
+                truth.locations[case].breakpoints(),
+                list(truth.locations[case].breakpoints())[1:],
+            ):
+                if loc != AWAY and loc.place == layout.belt:
+                    spans.append((t, t2))
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2  # no two cases on the belt at once
+
+    def test_anomaly_moves_item_between_shelved_cases(self):
+        sim = Simulator()
+        world = World()
+        layout = warehouse_layout(n_shelves=2)
+        wh = Warehouse(
+            sim, 0, layout,
+            WarehouseParams(shelf_dwell_mean=400, shelf_dwell_jitter=10,
+                            cases_per_outgoing_pallet=2),
+            world, lambda *a: None, seed=2,
+        )
+        pallet = EPC(TagKind.PALLET, 0)
+        cases = [EPC(TagKind.CASE, i) for i in range(2)]
+        world.register(pallet, 0)
+        for case in cases:
+            world.register(case, 0, container=pallet)
+            for j in range(2):
+                world.register(EPC(TagKind.ITEM, case.serial * 2 + j), 0, container=case)
+        wh.receive(pallet, cases, 0)
+        sim.run(until=100)  # both cases now shelved
+        assert wh.inject_containment_change()
+        assert len(world.truth.changes) == 1
+        change = world.truth.changes[0]
+        assert change.new_container in cases
+        assert change.old_container in cases
+        assert change.new_container != change.old_container
+
+    def test_removal_sends_item_away(self):
+        sim = Simulator()
+        world = World()
+        layout = warehouse_layout(n_shelves=2)
+        wh = Warehouse(
+            sim, 0, layout,
+            WarehouseParams(shelf_dwell_mean=400, shelf_dwell_jitter=10,
+                            cases_per_outgoing_pallet=1),
+            world, lambda *a: None, seed=3,
+        )
+        pallet = EPC(TagKind.PALLET, 0)
+        case = EPC(TagKind.CASE, 0)
+        item = EPC(TagKind.ITEM, 0)
+        world.register(pallet, 0)
+        world.register(case, 0, container=pallet)
+        world.register(item, 0, container=case)
+        wh.receive(pallet, [case], 0)
+        sim.run(until=100)
+        assert wh.remove_random_item()
+        assert world.location(item) == AWAY
+        assert world.container(item) is None
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            WarehouseParams(shelf_dwell_mean=10, shelf_dwell_jitter=20)
