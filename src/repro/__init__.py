@@ -9,7 +9,10 @@ Subpackages:
 * :mod:`repro.baselines` — SMURF and SMURF*.
 * :mod:`repro.streams` / :mod:`repro.queries` — CQL-style continuous
   queries with SEQ pattern matching (Q1, Q2, tracking).
-* :mod:`repro.distributed` — multi-site runtime with state migration.
+* :mod:`repro.runtime` — the event-driven federation: site nodes,
+  pluggable transports, batched state migration, query routing.
+* :mod:`repro.distributed` — cost ledger, ONS, tag memory, centroid
+  sharing, and the deployment facades over the runtime.
 * :mod:`repro.metrics` — error rates, F-measures, cost accounting.
 * :mod:`repro.workloads` — Table-2 workloads, catalogs, and scenarios.
 

@@ -101,18 +101,17 @@ class ByteReader:
         return value
 
     def text(self) -> str:
-        length = self.varint()
-        raw = self._data[self._pos : self._pos + length]
-        self._pos += length
-        return raw.decode("utf-8")
+        return self.blob().decode("utf-8")
 
     def blob(self) -> bytes:
-        length = self.varint()
-        raw = self._data[self._pos : self._pos + length]
-        self._pos += length
-        return raw
+        return self.raw(self.varint())
 
     def raw(self, length: int) -> bytes:
+        if self._pos + length > len(self._data):
+            raise EOFError(
+                f"truncated field: need {length} bytes, "
+                f"{len(self._data) - self._pos} left"
+            )
         value = self._data[self._pos : self._pos + length]
         self._pos += length
         return value

@@ -13,6 +13,7 @@ Table 5's communication-cost comparison depends on it.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from repro._util.encoding import ByteReader, ByteWriter
@@ -73,7 +74,22 @@ class CollapsedState:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "CollapsedState":
-        reader = ByteReader(data)
+        """Decode a wire state.
+
+        Any malformed input — truncated varints, out-of-range tag
+        kinds, short float fields — raises :class:`ValueError`, so a
+        corrupt migration payload cannot leak decoder internals
+        (``EOFError``, ``struct.error``) into the runtime.
+        """
+        try:
+            return cls._decode(ByteReader(data))
+        except ValueError:
+            raise
+        except (EOFError, struct.error, IndexError) as exc:
+            raise ValueError(f"malformed collapsed state: {exc}") from exc
+
+    @classmethod
+    def _decode(cls, reader: ByteReader) -> "CollapsedState":
         tag = _read_epc(reader)
         if tag is None:
             raise ValueError("collapsed state must name its object")

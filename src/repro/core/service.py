@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Literal, Mapping
+from typing import Iterable, Literal, Mapping
 
 import numpy as np
 
@@ -159,6 +159,15 @@ class StreamingInference:
             container=self.containment.get(tag),
             changed_at=self.valid_from.get(tag),
         )
+
+    def export_states(self, tags: Iterable[EPC]) -> dict[EPC, CollapsedState]:
+        """Collapse state for several departing objects at once.
+
+        The batch form feeds the runtime's per-``(src, dst)`` migration
+        bundles; objects the site knows nothing about still yield an
+        (empty) state, mirroring :meth:`export_state`.
+        """
+        return {tag: self.export_state(tag) for tag in tags}
 
     # -- the periodic loop --------------------------------------------------
 

@@ -1,9 +1,17 @@
-"""Multi-site deployment with state migration (§4, Fig. 3).
+"""Multi-site deployment facade (§4, Fig. 3).
 
-Sites process their local streams in lockstep intervals. When a site
-first observes a tag, it asks the ONS for the object's previous site
-and — under the ``collapsed`` (CR) strategy — fetches the object's
-collapsed inference state (candidate weights) from there, seeding local
+:class:`DistributedDeployment` keeps the original constructor and
+metric surface (Fig. 5e/f, Table 5 benchmarks run unchanged) but is now
+a thin facade over the event-driven :mod:`repro.runtime`: one
+:class:`~repro.runtime.node.SiteNode` per site, message-passing
+migration with **batched, centroid-compressed** state bundles, and a
+pluggable transport (deterministic in-process by default; pass a
+:class:`~repro.runtime.transport.ThreadedTransport` to run sites on
+worker threads).
+
+Under the ``collapsed`` (CR) strategy, a site that first observes a tag
+asks the ONS for the object's previous site and requests its collapsed
+inference state (candidate weights) from there — seeding local
 inference with the object's history without shipping a single raw
 reading. The ``none`` strategy transfers nothing, so each site starts
 from scratch (Fig. 5e/f's "None" line); its communication cost is zero
@@ -12,40 +20,19 @@ from scratch (Fig. 5e/f's "None" line); its communication cost is zero
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Literal
 
-import numpy as np
-
-from repro.core.collapsed import CollapsedState
 from repro.core.service import ServiceConfig, StreamingInference
 from repro.distributed.network import Network
-from repro.distributed.ons import ObjectNamingService
-from repro.metrics.accuracy import containment_error_rate
+from repro.runtime.cluster import Cluster, ClusterSnapshot
+from repro.runtime.envelope import MigrationEvent
+from repro.runtime.transport import InProcessTransport, Transport
 from repro.sim.supplychain import SupplyChainResult
-from repro.sim.tags import EPC, TagKind
+from repro.sim.tags import EPC
 
 __all__ = ["DistributedDeployment", "MigrationEvent"]
 
 MigrationStrategy = Literal["none", "collapsed"]
-
-
-@dataclass(frozen=True)
-class MigrationEvent:
-    """One object's state hand-off between sites."""
-
-    tag: EPC
-    src: int
-    dst: int
-    time: int
-    bytes_sent: int
-
-
-@dataclass
-class _Snapshot:
-    time: int
-    containment: dict[EPC, EPC | None]
-    known: set[EPC] = field(default_factory=set)
 
 
 class DistributedDeployment:
@@ -58,110 +45,59 @@ class DistributedDeployment:
         strategy: MigrationStrategy = "collapsed",
         network: Network | None = None,
         migration_listener: Callable[[int, int, list[EPC], int], None] | None = None,
+        transport: Transport | None = None,
+        batch_migrations: bool = True,
     ) -> None:
-        if strategy not in ("none", "collapsed"):
-            raise ValueError(f"unknown migration strategy {strategy!r}")
+        if transport is None:
+            transport = InProcessTransport(ledger=network)
+        elif network is not None and transport.ledger is not network:
+            raise ValueError("pass the ledger via the transport, not both")
         self.result = result
         self.config = config or ServiceConfig(emit_events=False)
         self.strategy = strategy
-        self.network = network if network is not None else Network()
-        self.ons = ObjectNamingService(self.network)
-        self.services = [
-            StreamingInference(trace, self.config) for trace in result.traces
-        ]
-        self.migrations: list[MigrationEvent] = []
-        self.migration_listener = migration_listener
-        self._seen: list[set[EPC]] = [set() for _ in result.traces]
-        self._current_site: dict[EPC, int] = {}
-        self.snapshots: list[_Snapshot] = []
-
-    # -- arrival handling ----------------------------------------------------
-
-    def _handle_arrivals(self, site: int, lo: int, hi: int) -> None:
-        trace = self.result.traces[site]
-        fresh = sorted(
-            {r.tag for r in trace.readings_in(lo, hi)} - self._seen[site]
+        self.cluster = Cluster(
+            result.traces,
+            self.config,
+            strategy=strategy,
+            transport=transport,
+            batch_migrations=batch_migrations,
+            migration_listener=migration_listener,
         )
-        if not fresh:
-            return
-        self._seen[site].update(fresh)
-        by_source: dict[int, list[EPC]] = {}
-        for tag in fresh:
-            if self.strategy == "none":
-                self._current_site[tag] = site
-                continue
-            previous = self.ons.lookup(tag, site)
-            self.ons.update(tag, site)
-            self._current_site[tag] = site
-            if previous is not None and previous != site:
-                by_source.setdefault(previous, []).append(tag)
-        if self.strategy != "collapsed":
-            return
-        for src, tags in sorted(by_source.items()):
-            total = 0
-            for tag in tags:
-                state = self.services[src].export_state(tag)
-                payload = state.to_bytes()
-                self.network.send(src, site, "inference-state", payload)
-                self.services[site].absorb_state(CollapsedState.from_bytes(payload))
-                total += len(payload)
-                self.migrations.append(
-                    MigrationEvent(tag, src, site, hi, len(payload))
-                )
-            if self.migration_listener is not None:
-                self.migration_listener(src, site, tags, hi)
+        self.network = self.cluster.network
+        self.ons = self.cluster.ons
 
-    # -- the lockstep loop ------------------------------------------------------
+    # -- delegation to the runtime ----------------------------------------
+
+    @property
+    def services(self) -> list[StreamingInference]:
+        return self.cluster.services
+
+    @property
+    def migrations(self) -> list[MigrationEvent]:
+        return self.cluster.migrations
+
+    @property
+    def snapshots(self) -> list[ClusterSnapshot]:
+        return self.cluster.snapshots
 
     def run(self, horizon: int | None = None) -> None:
-        """Process every site in lockstep up to ``horizon``."""
+        """Process every site up to ``horizon`` (default: the sim's)."""
         if horizon is None:
             horizon = self.result.params.horizon
-        interval = self.config.run_interval
-        for boundary in range(interval, horizon + 1, interval):
-            for site, service in enumerate(self.services):
-                self._handle_arrivals(site, boundary - interval, boundary)
-                service.run_at(boundary)
-            self.snapshots.append(self._snapshot(boundary))
+        self.cluster.run(horizon)
 
-    def _snapshot(self, time: int) -> _Snapshot:
-        merged: dict[EPC, EPC | None] = {}
-        known: set[EPC] = set()
-        for tag, site in self._current_site.items():
-            merged[tag] = self.services[site].containment.get(tag)
-            known.add(tag)
-        if self.strategy == "none":
-            # Without ONS traffic, ownership falls to the latest seen set.
-            for site, seen in enumerate(self._seen):
-                for tag in seen:
-                    known.add(tag)
-        return _Snapshot(time, merged, known)
-
-    # -- metrics ------------------------------------------------------------------
+    # -- metrics ------------------------------------------------------------
 
     def containment_error(self) -> float:
-        """Mean containment error across lockstep snapshots.
-
-        Each snapshot is scored over the items any site has seen by
-        then, against the ground truth at the snapshot time.
-        """
-        truth = self.result.truth
-        scores = []
-        for snap in self.snapshots:
-            items = [t for t in snap.known if t.kind is TagKind.ITEM]
-            if not items:
-                continue
-            scores.append(
-                containment_error_rate(truth, snap.containment, snap.time - 1, items)
-            )
-        return float(np.mean(scores)) if scores else 0.0
+        """Mean containment error across interval snapshots."""
+        return self.cluster.containment_error(self.result.truth)
 
     def detected_changes(self):
         """Change points pooled across sites."""
-        out = []
-        for service in self.services:
-            out.extend(service.changes)
-        return out
+        return self.cluster.detected_changes()
 
     def communication_bytes(self) -> int:
-        return self.network.total_bytes()
+        return self.cluster.communication_bytes()
+
+    def close(self) -> None:
+        self.cluster.close()

@@ -1,8 +1,12 @@
-"""Message passing between sites, with byte accounting.
+"""The communication-cost ledger, with per-kind and per-link accounting.
 
-All migrated state crosses this interface, so Table 5's communication
-cost comparison (centralized vs None vs CR) is simply the per-kind sums
-this ledger accumulates.
+All migrated state crosses a transport that records into this ledger,
+so Table 5's communication-cost comparison (centralized vs None vs CR)
+is simply the per-kind sums it accumulates, and the per-link
+``(src, dst)`` counters give the table's site-to-site breakdown.
+
+Synthetic site ids appear as endpoints: ``-1`` is the central server
+(centralized baseline), ``-2`` the Object Naming Service.
 """
 
 from __future__ import annotations
@@ -29,6 +33,9 @@ class Network:
 
     bytes_by_kind: Counter = field(default_factory=Counter)
     messages_by_kind: Counter = field(default_factory=Counter)
+    #: per-link counters keyed by the ``(src, dst)`` pair.
+    bytes_by_link: Counter = field(default_factory=Counter)
+    messages_by_link: Counter = field(default_factory=Counter)
     log: list[Message] = field(default_factory=list)
     keep_log: bool = False
 
@@ -36,6 +43,8 @@ class Network:
         """Deliver ``payload`` and account for its size."""
         self.bytes_by_kind[kind] += len(payload)
         self.messages_by_kind[kind] += 1
+        self.bytes_by_link[(src, dst)] += len(payload)
+        self.messages_by_link[(src, dst)] += 1
         if self.keep_log:
             self.log.append(Message(src, dst, kind, payload))
         return payload
@@ -45,3 +54,22 @@ class Network:
 
     def total_messages(self) -> int:
         return sum(self.messages_by_kind.values())
+
+    # -- per-link breakdown --------------------------------------------------
+
+    def links(self) -> list[tuple[int, int]]:
+        """Every ``(src, dst)`` pair that carried traffic, sorted."""
+        return sorted(self.bytes_by_link)
+
+    def link_bytes(self, src: int, dst: int) -> int:
+        return self.bytes_by_link[(src, dst)]
+
+    def link_messages(self, src: int, dst: int) -> int:
+        return self.messages_by_link[(src, dst)]
+
+    def per_link_rows(self) -> list[tuple[int, int, int, int]]:
+        """``(src, dst, messages, bytes)`` rows for benchmark tables."""
+        return [
+            (src, dst, self.messages_by_link[(src, dst)], self.bytes_by_link[(src, dst)])
+            for src, dst in self.links()
+        ]

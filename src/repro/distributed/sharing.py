@@ -32,6 +32,11 @@ def byte_distance(a: bytes, b: bytes) -> int:
     return (len(a) - matched) + (len(b) - matched)
 
 
+def _varint_len(value: int) -> int:
+    """Encoded size of a varint (≥1 byte per 7 bits)."""
+    return max(1, (value.bit_length() + 6) // 7)
+
+
 def state_diff(base: bytes, target: bytes) -> bytes:
     """Encode ``target`` as edit operations against ``base``.
 
@@ -40,36 +45,65 @@ def state_diff(base: bytes, target: bytes) -> bytes:
     copies or ``len + literal bytes`` for inserts. The identical case
     gets its own one-byte opcode because quiescent automaton states are
     byte-for-byte equal across most objects of a container.
+
+    The encoder is cost-aware: an equal block is emitted as a copy only
+    when the copy encoding is shorter than inlining the bytes — short
+    matches interleaved with float noise (typical of collapsed weight
+    states) would otherwise make the diff *larger* than the raw state —
+    and a whole-state literal is the fallback ceiling, so a diff never
+    costs more than ``len(target) + 2``.
     """
     if target == base:
         return ByteWriter().varint(2).getvalue()
     writer = ByteWriter()
+    pending = bytearray()  # literal run awaiting flush
+
+    def flush() -> None:
+        if pending:
+            writer.varint(1).blob(bytes(pending))
+            pending.clear()
+
     matcher = SequenceMatcher(None, base, target, autojunk=False)
     for tag, i1, i2, j1, j2 in matcher.get_opcodes():
         if tag == "equal":
-            writer.varint(0).varint(i1).varint(i2 - i1)
+            copy_cost = 1 + _varint_len(i1) + _varint_len(i2 - i1)
+            if i2 - i1 > copy_cost:
+                flush()
+                writer.varint(0).varint(i1).varint(i2 - i1)
+            else:
+                pending.extend(target[j1:j2])  # same bytes as the base run
         elif tag in ("replace", "insert"):
-            writer.varint(1).blob(target[j1:j2])
+            pending.extend(target[j1:j2])
         # deletions need no output: absent copies skip base bytes.
-    return writer.getvalue()
+    flush()
+    encoded = writer.getvalue()
+    whole = ByteWriter().varint(1).blob(target).getvalue()
+    return whole if len(whole) < len(encoded) else encoded
 
 
 def apply_diff(base: bytes, diff: bytes) -> bytes:
-    """Reconstruct the target state from a base and its diff."""
+    """Reconstruct the target state from a base and its diff.
+
+    A malformed diff (truncated varints or literals, unknown opcodes)
+    raises :class:`ValueError`.
+    """
     reader = ByteReader(diff)
     out = bytearray()
-    while not reader.exhausted():
-        op = reader.varint()
-        if op == 0:
-            start = reader.varint()
-            length = reader.varint()
-            out.extend(base[start : start + length])
-        elif op == 1:
-            out.extend(reader.blob())
-        elif op == 2:
-            return bytes(base)
-        else:
-            raise ValueError(f"unknown diff opcode {op}")
+    try:
+        while not reader.exhausted():
+            op = reader.varint()
+            if op == 0:
+                start = reader.varint()
+                length = reader.varint()
+                out.extend(base[start : start + length])
+            elif op == 1:
+                out.extend(reader.blob())
+            elif op == 2:
+                return bytes(base)
+            else:
+                raise ValueError(f"unknown diff opcode {op}")
+    except EOFError as exc:
+        raise ValueError(f"malformed state diff: {exc}") from exc
     return bytes(out)
 
 

@@ -103,7 +103,9 @@ class FreezerExposureQuery:
         return None if state is None else encode_pattern_state(state)
 
     def import_state(self, tag: EPC, data: bytes) -> None:
-        self.pattern.import_state(tag, decode_pattern_state(data))
+        """Absorb a migrated automaton state (merging with any local
+        partial match the new site has already built up)."""
+        self.pattern.absorb_state(tag, decode_pattern_state(data))
 
     def active_states(self) -> dict[EPC, PatternState]:
         """Per-object automaton states currently held (for sharing)."""

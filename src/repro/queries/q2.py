@@ -69,7 +69,7 @@ class TemperatureExposureQuery:
         return None if state is None else encode_pattern_state(state)
 
     def import_state(self, tag: EPC, data: bytes) -> None:
-        self.pattern.import_state(tag, decode_pattern_state(data))
+        self.pattern.absorb_state(tag, decode_pattern_state(data))
 
     def active_states(self) -> dict[EPC, PatternState]:
         return dict(self.pattern.states)

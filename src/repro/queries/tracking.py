@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
+from repro._util.encoding import ByteReader, ByteWriter
 from repro.core.events import ObjectEvent
 from repro.sim.tags import EPC
 
@@ -66,3 +67,41 @@ class PathDeviationQuery:
         """Sites visited so far (the "list the path taken" query)."""
         state = self.progress.get(tag)
         return list(state.history) if state is not None else []
+
+    # -- migrated state (runtime QueryRouter hooks) ------------------------
+
+    def export_state(self, tag: EPC) -> bytes | None:
+        """Serialize one object's route progress for migration."""
+        state = self.progress.get(tag)
+        if state is None:
+            return None
+        writer = ByteWriter()
+        writer.varint(state.position)
+        writer.varint(1 if state.deviated else 0)
+        writer.varint(len(state.history))
+        for site in state.history:
+            writer.varint(site)
+        return writer.getvalue()
+
+    def import_state(self, tag: EPC, data: bytes) -> None:
+        """Merge migrated route progress with any local observations.
+
+        The previous site's history precedes anything seen locally, so
+        its sites are prepended; progress keeps the furthest position
+        and an established deviation stays established.
+        """
+        reader = ByteReader(data)
+        try:
+            position = reader.varint()
+            deviated = bool(reader.varint())
+            history = [reader.varint() for _ in range(reader.varint())]
+        except EOFError as exc:
+            raise ValueError(f"malformed route state: {exc}") from exc
+        state = self.progress.setdefault(tag, _RouteProgress())
+        state.position = max(state.position, position)
+        state.deviated = state.deviated or deviated
+        merged = list(history)
+        for site in state.history:
+            if not merged or merged[-1] != site:
+                merged.append(site)
+        state.history = merged

@@ -1,0 +1,40 @@
+"""Event-driven site runtime (§4, Fig. 3).
+
+The federation is a set of :class:`~repro.runtime.node.SiteNode`\\ s
+exchanging typed :class:`~repro.runtime.envelope.Envelope` messages over
+a pluggable :class:`~repro.runtime.transport.Transport`, orchestrated by
+a :class:`~repro.runtime.cluster.Cluster`:
+
+* :mod:`repro.runtime.envelope` — the message protocol: ONS traffic,
+  migrate requests, batched (centroid-compressed) inference- and
+  query-state bundles;
+* :mod:`repro.runtime.transport` — deterministic in-process delivery or
+  per-site worker threads with per-link inboxes;
+* :mod:`repro.runtime.node` — one site's inference service + continuous
+  queries, reacting to messages;
+* :mod:`repro.runtime.router` — federated query routing: per-object
+  automaton state migrates alongside inference state;
+* :mod:`repro.runtime.cluster` — the interval schedule (tick → route →
+  snapshot) replacing the old lockstep loop.
+
+The legacy :class:`repro.distributed.coordinator.DistributedDeployment`
+is now a thin facade over this runtime.
+"""
+
+from repro.runtime.cluster import Cluster, ClusterSnapshot
+from repro.runtime.envelope import Envelope, MigrationEvent
+from repro.runtime.node import SiteNode
+from repro.runtime.router import QueryRouter
+from repro.runtime.transport import InProcessTransport, ThreadedTransport, Transport
+
+__all__ = [
+    "Cluster",
+    "ClusterSnapshot",
+    "Envelope",
+    "InProcessTransport",
+    "MigrationEvent",
+    "QueryRouter",
+    "SiteNode",
+    "ThreadedTransport",
+    "Transport",
+]

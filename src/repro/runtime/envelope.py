@@ -1,0 +1,165 @@
+"""Typed message envelopes for the site runtime (§4, Fig. 3).
+
+Everything that crosses a site boundary is an :class:`Envelope`: an
+addressed, kind-tagged byte payload. The payload codecs below cover the
+four message families of the paper's federation:
+
+* ``ons-lookup`` / ``ons-update`` — Object Naming Service traffic
+  (tiny, control-plane; encoded by :mod:`repro.distributed.ons`);
+* ``migrate-request`` — a site that just observed fresh objects asks
+  their previous site for state (a tag list);
+* ``inference-state`` — collapsed co-location weights (§4.1), shipped
+  either per object or as a centroid-compressed batch (§4.2);
+* ``query-state`` — per-object pattern-automaton state (Appendix B),
+  grouped by query and centroid-compressed the same way.
+
+Batched payloads reuse :func:`repro.distributed.sharing.centroid_compress`
+so one bundle per ``(src, dst)`` pair replaces a message per object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.distributed.sharing import SharedStateBundle, centroid_compress
+from repro.sim.tags import EPC, TagKind
+
+__all__ = [
+    "Envelope",
+    "MigrationEvent",
+    "MIGRATE_REQUEST",
+    "INFERENCE_STATE",
+    "QUERY_STATE",
+    "ONS_LOOKUP",
+    "ONS_UPDATE",
+    "encode_tag_list",
+    "decode_tag_list",
+    "encode_state_bundle",
+    "decode_state_bundle",
+    "encode_query_bundle",
+    "decode_query_bundle",
+    "encode_single_query_state",
+    "decode_single_query_state",
+]
+
+#: message kinds (the transport ledger aggregates bytes per kind).
+MIGRATE_REQUEST = "migrate-request"
+INFERENCE_STATE = "inference-state"
+QUERY_STATE = "query-state"
+ONS_LOOKUP = "ons-lookup"
+ONS_UPDATE = "ons-update"
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One addressed message between sites."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: bytes
+    #: stream time at which the message was produced (interval boundary).
+    time: int = 0
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+class MigrationEvent(NamedTuple):
+    """One object's state hand-off between sites.
+
+    Records state *actually shipped*: objects whose collapsed state is
+    empty (nothing to transfer) produce no event — the cluster's
+    ``migration_listener`` is the hook that sees every *requested*
+    hand-off. ``bytes_sent`` is the object's own serialized state size;
+    with batching the actual wire cost is lower (the bundle amortizes
+    and diff-compresses it) and lives in the transport ledger.
+    """
+
+    tag: EPC
+    src: int
+    dst: int
+    time: int
+    bytes_sent: int
+
+
+def _write_epc(writer: ByteWriter, tag: EPC) -> None:
+    writer.varint(int(tag.kind)).varint(tag.serial)
+
+
+def _read_epc(reader: ByteReader) -> EPC:
+    return EPC(TagKind(reader.varint()), reader.varint())
+
+
+# -- tag lists (migrate-request) -----------------------------------------
+
+
+def encode_tag_list(tags: list[EPC]) -> bytes:
+    writer = ByteWriter()
+    writer.varint(len(tags))
+    for tag in tags:
+        _write_epc(writer, tag)
+    return writer.getvalue()
+
+
+def decode_tag_list(data: bytes) -> list[EPC]:
+    reader = ByteReader(data)
+    return [_read_epc(reader) for _ in range(reader.varint())]
+
+
+# -- batched state bundles (inference-state / query-state) ----------------
+
+
+def encode_state_bundle(states: dict[EPC, bytes]) -> bytes:
+    """Centroid-compress per-object byte states into one wire bundle."""
+    return centroid_compress(states).to_bytes()
+
+
+def decode_state_bundle(data: bytes) -> dict[EPC, bytes]:
+    """Losslessly recover every object's state from a bundle."""
+    return SharedStateBundle.from_bytes(data).reconstruct()
+
+
+def encode_query_bundle(per_query: dict[str, dict[EPC, bytes]]) -> bytes:
+    """Bundle automaton states for several queries at once.
+
+    Layout: ``n_queries | (name, blob(state-bundle))*`` with each query's
+    states centroid-compressed independently (states of *different*
+    queries share little; states of the same query's co-migrating
+    objects share almost everything, §4.2).
+    """
+    writer = ByteWriter()
+    writer.varint(len(per_query))
+    for name in sorted(per_query):
+        writer.text(name)
+        writer.blob(encode_state_bundle(per_query[name]))
+    return writer.getvalue()
+
+
+def decode_query_bundle(data: bytes) -> dict[str, dict[EPC, bytes]]:
+    reader = ByteReader(data)
+    out: dict[str, dict[EPC, bytes]] = {}
+    for _ in range(reader.varint()):
+        name = reader.text()
+        out[name] = decode_state_bundle(reader.blob())
+    return out
+
+
+# -- per-object query state (the unbatched baseline) ----------------------
+
+
+def encode_single_query_state(name: str, tag: EPC, state: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.text(name)
+    _write_epc(writer, tag)
+    writer.blob(state)
+    return writer.getvalue()
+
+
+def decode_single_query_state(data: bytes) -> tuple[str, EPC, bytes]:
+    reader = ByteReader(data)
+    name = reader.text()
+    tag = _read_epc(reader)
+    return name, tag, reader.blob()

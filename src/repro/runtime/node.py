@@ -1,0 +1,235 @@
+"""One site of the federation: inference service + local queries.
+
+A :class:`SiteNode` owns one :class:`~repro.core.service.StreamingInference`
+plus the site's registered continuous queries, and *reacts to messages*
+instead of being driven by direct calls: a ``migrate-request`` makes it
+export and send state, an ``inference-state``/``query-state`` envelope
+makes it absorb state. The only locally-driven entry points are
+:meth:`advance_to` (the periodic inference tick, dispatched by the
+cluster onto this site's execution context) and :meth:`poll_arrivals`
+(reading the site's own antennas).
+
+Under :class:`~repro.runtime.transport.ThreadedTransport` every handler
+and tick runs on this node's own worker thread, so node state is
+single-writer without locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.collapsed import CollapsedState
+from repro.core.events import ObjectEvent
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.runtime.envelope import (
+    INFERENCE_STATE,
+    MIGRATE_REQUEST,
+    QUERY_STATE,
+    Envelope,
+    MigrationEvent,
+    decode_query_bundle,
+    decode_single_query_state,
+    decode_state_bundle,
+    decode_tag_list,
+    encode_query_bundle,
+    encode_single_query_state,
+    encode_state_bundle,
+)
+from repro.runtime.router import QueryRouter
+from repro.runtime.transport import Transport
+from repro.sim.tags import EPC
+from repro.sim.trace import Trace
+from repro.streams.engine import merge_by_time
+
+__all__ = ["SiteNode"]
+
+
+def _is_empty_state(state: CollapsedState) -> bool:
+    return (
+        not state.weights
+        and state.container is None
+        and state.changed_at is None
+    )
+
+
+class SiteNode:
+    """Event-driven runtime for one site."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        config: ServiceConfig | None = None,
+        batch_migrations: bool = True,
+    ) -> None:
+        self.trace = trace
+        self.site = trace.site
+        self.service = StreamingInference(trace, config)
+        self.batch_migrations = batch_migrations
+        self.queries: dict[str, Any] = {}
+        self.router = QueryRouter(self.queries)
+        #: tags this site has ever observed (arrival detection).
+        self.seen: set[EPC] = set()
+        #: state hand-offs absorbed *into* this node (tag-level record).
+        self.migrations_in: list[MigrationEvent] = []
+        #: query-state exports owed after the next tick: (requester, tags).
+        self._pending_handoffs: list[tuple[int, list[EPC]]] = []
+        self._transport: Transport | None = None
+        self._sensors: list[Any] = []
+        self._sensor_pos = 0
+        self._event_pos = 0
+
+    # -- wiring ---------------------------------------------------------
+
+    def bind(self, transport: Transport) -> None:
+        """Register this node as the recipient of its site's envelopes."""
+        self._transport = transport
+        transport.register(self.site, self.handle)
+
+    def add_query(self, name: str, query: Any) -> None:
+        """Register a continuous query (its state migrates if it exposes
+        ``export_state``/``import_state``)."""
+        self.queries[name] = query
+
+    def set_sensor_stream(self, readings: Iterable[Any]) -> None:
+        """Provide this site's (time-sorted) sensor stream for queries."""
+        self._sensors = sorted(readings, key=lambda r: r.time)
+        self._sensor_pos = 0
+
+    # -- local drivers ----------------------------------------------------
+
+    def poll_arrivals(self, lo: int, hi: int) -> list[EPC]:
+        """Tags first observed by this site's readers in ``[lo, hi)``."""
+        fresh = sorted({r.tag for r in self.trace.readings_in(lo, hi)} - self.seen)
+        self.seen.update(fresh)
+        return fresh
+
+    def advance_to(self, boundary: int) -> None:
+        """One inference tick: run RFINFER, feed new tuples to queries."""
+        self.service.run_at(boundary)
+        self._feed_queries(boundary)
+
+    def _feed_queries(self, boundary: int) -> None:
+        events = self.service.events[self._event_pos :]
+        self._event_pos = len(self.service.events)
+        hi = self._sensor_pos
+        while hi < len(self._sensors) and self._sensors[hi].time < boundary:
+            hi += 1
+        sensors = self._sensors[self._sensor_pos : hi]
+        self._sensor_pos = hi
+        if not self.queries or (not events and not sensors):
+            return
+        # Sensors first at equal timestamps, as the stream engine does.
+        for item in merge_by_time(sensors, events):
+            for query in self.queries.values():
+                if isinstance(item, ObjectEvent):
+                    query.on_event(item)
+                else:
+                    on_sensor = getattr(query, "on_sensor", None)
+                    if on_sensor is not None:
+                        on_sensor(item)
+
+    # -- message handling ---------------------------------------------------
+
+    def handle(self, env: Envelope) -> None:
+        """React to one delivered envelope."""
+        if env.kind == MIGRATE_REQUEST:
+            self._serve_migration(env.src, decode_tag_list(env.payload), env.time)
+        elif env.kind == INFERENCE_STATE:
+            self._absorb_inference(env)
+        elif env.kind == QUERY_STATE:
+            self._absorb_query_state(env)
+        else:
+            raise ValueError(f"site {self.site}: unknown message kind {env.kind!r}")
+
+    def _send(self, env: Envelope) -> None:
+        if self._transport is None:
+            raise RuntimeError(f"site {self.site} is not bound to a transport")
+        self._transport.send(env)
+
+    def _serve_migration(self, requester: int, tags: list[EPC], time: int) -> None:
+        """Ship inference state now; owe query state after the next tick.
+
+        Inference state must reach the requester *before* its run over
+        the arrival interval (§4.1: the migrated weights seed local
+        inference). Query-automaton state is freshest *after* this
+        site's own run over the departure interval (that run feeds the
+        object's final local events to the queries), so it follows in
+        the post-tick hand-off phase and merges with whatever partial
+        match the new site has formed meanwhile.
+        """
+        exported = self.service.export_states(tags)
+        # An empty state (no weights, no container, no change floor)
+        # carries zero information — absorbing it is a no-op — so both
+        # modes drop it instead of shipping dead bytes. `migrations`
+        # therefore records state actually shipped, identically in
+        # batched and per-tag mode.
+        states = {
+            tag: state.to_bytes()
+            for tag, state in exported.items()
+            if not _is_empty_state(state)
+        }
+        if not states:
+            pass
+        elif self.batch_migrations:
+            self._send(
+                Envelope(
+                    self.site, requester, INFERENCE_STATE,
+                    encode_state_bundle(states), time,
+                )
+            )
+        else:
+            for tag in sorted(states):
+                self._send(
+                    Envelope(self.site, requester, INFERENCE_STATE, states[tag], time)
+                )
+        if self.queries:
+            self._pending_handoffs.append((requester, tags))
+
+    def flush_query_handoffs(self, time: int) -> None:
+        """Send owed query state (called by the cluster after the tick)."""
+        pending, self._pending_handoffs = self._pending_handoffs, []
+        for requester, tags in pending:
+            per_query = self.router.export(tags)
+            if not per_query:
+                continue
+            if self.batch_migrations:
+                self._send(
+                    Envelope(
+                        self.site, requester, QUERY_STATE,
+                        encode_query_bundle(per_query), time,
+                    )
+                )
+            else:
+                for name in sorted(per_query):
+                    for tag in sorted(per_query[name]):
+                        self._send(
+                            Envelope(
+                                self.site, requester, QUERY_STATE,
+                                encode_single_query_state(
+                                    name, tag, per_query[name][tag]
+                                ),
+                                time,
+                            )
+                        )
+
+    def _absorb_inference(self, env: Envelope) -> None:
+        if self.batch_migrations:
+            raw = decode_state_bundle(env.payload)
+            arrivals = [
+                (CollapsedState.from_bytes(raw[tag]), len(raw[tag]))
+                for tag in sorted(raw)
+            ]
+        else:
+            arrivals = [(CollapsedState.from_bytes(env.payload), len(env.payload))]
+        for state, size in arrivals:
+            self.service.absorb_state(state)
+            self.migrations_in.append(
+                MigrationEvent(state.tag, env.src, self.site, env.time, size)
+            )
+
+    def _absorb_query_state(self, env: Envelope) -> None:
+        if self.batch_migrations:
+            self.router.apply_bundle(decode_query_bundle(env.payload))
+        else:
+            name, tag, data = decode_single_query_state(env.payload)
+            self.router.apply(name, tag, data)

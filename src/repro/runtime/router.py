@@ -1,0 +1,77 @@
+"""Federated query routing: migrating per-object query state (§4.2).
+
+The outer blocks of the monitoring queries (Q1/Q2's ``SEQ(A+)``
+patterns, the tracking query's route progress) consume the *global*
+event stream, so their per-object state must follow the object between
+sites (Appendix B). The :class:`QueryRouter` is the piece that finally
+wires the queries' existing ``export_state``/``import_state`` hooks
+into the deployment: on departure it collects each registered query's
+byte state for the migrating objects; on arrival it routes the decoded
+states back into the matching query instances.
+
+A query participates by exposing::
+
+    export_state(tag) -> bytes | None   # None: no state for this object
+    import_state(tag, data: bytes)      # merge/adopt a migrated state
+
+which :class:`~repro.queries.q1.FreezerExposureQuery`,
+:class:`~repro.queries.q2.TemperatureExposureQuery`, and
+:class:`~repro.queries.tracking.PathDeviationQuery` all do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.sim.tags import EPC
+
+__all__ = ["QueryRouter"]
+
+
+class QueryRouter:
+    """Exports and applies query state for one site's registered queries."""
+
+    def __init__(self, queries: dict[str, Any] | None = None) -> None:
+        #: name → query instance; shared (not copied) with the owning
+        #: node so late registrations are visible.
+        self.queries: dict[str, Any] = queries if queries is not None else {}
+
+    def export(self, tags: Iterable[EPC]) -> dict[str, dict[EPC, bytes]]:
+        """Collect each query's serialized state for ``tags``.
+
+        Queries without migration hooks, and objects a query holds no
+        state for, are simply skipped.
+        """
+        out: dict[str, dict[EPC, bytes]] = {}
+        for name in sorted(self.queries):
+            exporter = getattr(self.queries[name], "export_state", None)
+            if exporter is None:
+                continue
+            states: dict[EPC, bytes] = {}
+            for tag in tags:
+                raw = exporter(tag)
+                if raw is not None:
+                    states[tag] = raw
+            if states:
+                out[name] = states
+        return out
+
+    def apply(self, name: str, tag: EPC, data: bytes) -> bool:
+        """Route one migrated state into the named query (if present)."""
+        query = self.queries.get(name)
+        if query is None:
+            return False
+        importer = getattr(query, "import_state", None)
+        if importer is None:
+            return False
+        importer(tag, data)
+        return True
+
+    def apply_bundle(self, per_query: dict[str, dict[EPC, bytes]]) -> int:
+        """Route a decoded query bundle; returns states applied."""
+        applied = 0
+        for name in sorted(per_query):
+            for tag in sorted(per_query[name]):
+                if self.apply(name, tag, per_query[name][tag]):
+                    applied += 1
+        return applied

@@ -1,0 +1,241 @@
+"""Pluggable message transports for the site runtime.
+
+A :class:`Transport` moves :class:`~repro.runtime.envelope.Envelope`\\ s
+between registered site handlers and schedules per-site work. Every
+delivered byte is accounted through a shared
+:class:`~repro.distributed.network.Network` ledger (per-kind *and*
+per-link), so Table 5's communication-cost breakdown is independent of
+which transport runs the cluster.
+
+* :class:`InProcessTransport` — synchronous, single-threaded delivery.
+  Deterministic by construction; preserves the semantics (and byte
+  accounting) of the original lockstep deployment.
+* :class:`ThreadedTransport` — one worker thread per site with per-link
+  FIFO inboxes, so independent sites advance concurrently. Handlers run
+  only on their own site's worker (actor discipline), which keeps state
+  mutation single-writer; combined with the cluster's barrier phases
+  this makes the threaded run bit-identical to the in-process one.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable
+
+from repro.distributed.network import Network
+from repro.runtime.envelope import Envelope
+
+__all__ = ["Transport", "InProcessTransport", "ThreadedTransport"]
+
+Handler = Callable[[Envelope], None]
+
+
+class Transport(ABC):
+    """Delivery of envelopes plus per-site work scheduling."""
+
+    def __init__(self, ledger: Network | None = None) -> None:
+        self.ledger = ledger if ledger is not None else Network()
+
+    @abstractmethod
+    def register(self, site: int, handler: Handler) -> None:
+        """Attach ``handler`` as the recipient of envelopes for ``site``."""
+
+    @abstractmethod
+    def send(self, env: Envelope) -> None:
+        """Account for ``env`` and deliver it to its destination handler.
+
+        Sends to a destination with no registered handler (e.g. the ONS
+        ledger site) are accounted and dropped.
+        """
+
+    @abstractmethod
+    def dispatch(self, site: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` in ``site``'s execution context."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Block until all sent envelopes and dispatched work — including
+        any follow-up messages they triggered — have been processed."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release transport resources (worker threads, queues)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InProcessTransport(Transport):
+    """Synchronous delivery on the caller's thread (deterministic)."""
+
+    def __init__(self, ledger: Network | None = None) -> None:
+        super().__init__(ledger)
+        self._handlers: dict[int, Handler] = {}
+
+    def register(self, site: int, handler: Handler) -> None:
+        if site in self._handlers:
+            raise ValueError(f"site {site} already registered")
+        self._handlers[site] = handler
+
+    def send(self, env: Envelope) -> None:
+        self.ledger.send(env.src, env.dst, env.kind, env.payload)
+        handler = self._handlers.get(env.dst)
+        if handler is not None:
+            handler(env)
+
+    def dispatch(self, site: int, fn: Callable[[], None]) -> None:
+        fn()
+
+    def flush(self) -> None:
+        pass  # everything already ran synchronously
+
+
+class _SiteWorker(threading.Thread):
+    """One site's event loop: drains per-link inboxes, then local tasks."""
+
+    def __init__(self, site: int, handler: Handler, transport: "ThreadedTransport") -> None:
+        super().__init__(name=f"site-{site}", daemon=True)
+        self.site = site
+        self.handler = handler
+        self.transport = transport
+        self.cv = threading.Condition()
+        #: per-link FIFO inboxes, keyed by source site.
+        self.inboxes: dict[int, deque[Envelope]] = {}
+        self.tasks: deque[Callable[[], None]] = deque()
+        self.stopped = False
+
+    def post_envelope(self, env: Envelope) -> None:
+        with self.cv:
+            self.inboxes.setdefault(env.src, deque()).append(env)
+            self.cv.notify()
+
+    def post_task(self, fn: Callable[[], None]) -> None:
+        with self.cv:
+            self.tasks.append(fn)
+            self.cv.notify()
+
+    def stop(self) -> None:
+        with self.cv:
+            self.stopped = True
+            self.cv.notify()
+
+    def _take(self) -> tuple[str, object] | None:
+        """Next work item: envelopes (links in source order) before tasks."""
+        for src in sorted(self.inboxes):
+            queue = self.inboxes[src]
+            if queue:
+                return ("envelope", queue.popleft())
+        if self.tasks:
+            return ("task", self.tasks.popleft())
+        return None
+
+    def run(self) -> None:
+        while True:
+            with self.cv:
+                item = self._take()
+                while item is None:
+                    if self.stopped:
+                        return
+                    self.cv.wait()
+                    item = self._take()
+            kind, work = item
+            try:
+                if kind == "envelope":
+                    self.handler(work)  # type: ignore[arg-type]
+                else:
+                    work()  # type: ignore[operator]
+            except BaseException as exc:  # noqa: BLE001 - surfaced at flush()
+                self.transport._record_error(exc)
+            finally:
+                self.transport._work_done()
+
+
+class ThreadedTransport(Transport):
+    """Per-site worker threads with per-link inboxes.
+
+    Delivery and dispatch are asynchronous; :meth:`flush` is the barrier
+    that waits for global quiescence. An outstanding-work counter makes
+    the barrier exact: a handler's follow-up sends are counted before
+    the handler itself retires, so ``flush`` cannot return while a
+    message chain is still in flight.
+    """
+
+    def __init__(self, ledger: Network | None = None) -> None:
+        super().__init__(ledger)
+        self._workers: dict[int, _SiteWorker] = {}
+        self._quiet = threading.Condition()
+        self._outstanding = 0
+        self._errors: list[BaseException] = []
+        self._ledger_lock = threading.Lock()
+        self._closed = False
+
+    # -- work accounting ---------------------------------------------------
+
+    def _work_added(self) -> None:
+        with self._quiet:
+            self._outstanding += 1
+
+    def _work_done(self) -> None:
+        with self._quiet:
+            self._outstanding -= 1
+            if self._outstanding <= 0:
+                self._quiet.notify_all()
+
+    def _record_error(self, exc: BaseException) -> None:
+        with self._quiet:
+            self._errors.append(exc)
+
+    # -- Transport interface ----------------------------------------------
+
+    def register(self, site: int, handler: Handler) -> None:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        if site in self._workers:
+            raise ValueError(f"site {site} already registered")
+        worker = _SiteWorker(site, handler, self)
+        self._workers[site] = worker
+        worker.start()
+
+    def send(self, env: Envelope) -> None:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        with self._ledger_lock:
+            self.ledger.send(env.src, env.dst, env.kind, env.payload)
+        worker = self._workers.get(env.dst)
+        if worker is None:
+            return  # accounted control traffic (e.g. ONS) with no node
+        self._work_added()
+        worker.post_envelope(env)
+
+    def dispatch(self, site: int, fn: Callable[[], None]) -> None:
+        if self._closed:
+            raise RuntimeError("transport is closed")
+        worker = self._workers.get(site)
+        if worker is None:
+            raise KeyError(f"no worker registered for site {site}")
+        self._work_added()
+        worker.post_task(fn)
+
+    def flush(self) -> None:
+        with self._quiet:
+            while self._outstanding > 0:
+                self._quiet.wait()
+            if self._errors:
+                errors, self._errors = self._errors, []
+                raise RuntimeError(
+                    f"{len(errors)} site worker(s) failed"
+                ) from errors[0]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            worker.stop()
+        for worker in self._workers.values():
+            worker.join(timeout=5.0)
+        self._workers.clear()

@@ -133,5 +133,41 @@ class KleeneDurationPattern(Operator):
     def import_state(self, key: Hashable, state: PatternState) -> None:
         self.states[key] = state
 
+    def absorb_state(self, key: Hashable, incoming: PatternState) -> None:
+        """Merge a migrated automaton state with any local partial match.
+
+        When an object's state arrives *after* the new site has already
+        processed the object's first local events (the runtime runs
+        inference ticks before routing arrivals), the local automaton
+        may hold a young partial run. For a duration pattern the two
+        runs are one continuous exposure, so the merge keeps the
+        earliest start, the latest event, and the concatenated values —
+        and a run that already fired at the previous site suppresses a
+        duplicate alert here. If the *combined* span already satisfies
+        the duration, the alert fires at merge time: the qualifying
+        event exists (the local partial's last event), it just arrived
+        before the migrated start of the run.
+        """
+        local = self.states.get(key)
+        if local is None or local.stage == 0:
+            self.states[key] = incoming
+            local = incoming
+        elif incoming.stage == 0:
+            return  # nothing was in progress at the previous site
+        else:
+            if incoming.stage == 2:
+                local.stage = 2
+            if incoming.start_time < local.start_time:
+                local.start_time = incoming.start_time
+                local.values = (incoming.values + local.values)[: self.max_values]
+            local.last_time = max(local.last_time, incoming.last_time)
+        if local.stage == 1 and local.last_time > local.start_time + self.duration:
+            local.stage = 2
+            alert = PatternAlert(
+                key, local.start_time, local.last_time, tuple(local.values)
+            )
+            self.alerts.append(alert)
+            self.emit(alert)
+
     def evict(self, key: Hashable) -> None:
         self.states.pop(key, None)

@@ -28,11 +28,22 @@ def encode_pattern_state(state: PatternState) -> bytes:
 
 
 def decode_pattern_state(data: bytes) -> PatternState:
-    """Inverse of :func:`encode_pattern_state`."""
+    """Inverse of :func:`encode_pattern_state`.
+
+    Malformed input raises :class:`ValueError` (never a bare decoder
+    error), matching :meth:`repro.core.collapsed.CollapsedState.from_bytes`.
+    """
+    import struct
+
     reader = ByteReader(data)
-    stage = reader.varint()
-    start_time = reader.varint()
-    last_time = reader.varint()
-    count = reader.varint()
-    values = [reader.float32() for _ in range(count)]
+    try:
+        stage = reader.varint()
+        start_time = reader.varint()
+        last_time = reader.varint()
+        count = reader.varint()
+        values = [reader.float32() for _ in range(count)]
+    except (EOFError, struct.error, IndexError) as exc:
+        raise ValueError(f"malformed pattern state: {exc}") from exc
+    if stage > 2:
+        raise ValueError(f"malformed pattern state: stage {stage} out of range")
     return PatternState(stage, start_time, last_time, values)

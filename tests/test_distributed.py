@@ -35,6 +35,21 @@ class TestNetwork:
         net.send(0, 1, "x", b"a")
         assert len(net.log) == 1 and net.log[0].payload == b"a"
 
+    def test_per_link_counters(self):
+        net = Network()
+        net.send(0, 1, "x", b"12345")
+        net.send(0, 1, "y", b"123")
+        net.send(1, 0, "x", b"12")
+        net.send(0, -2, "ons-lookup", b"1")
+        assert net.link_bytes(0, 1) == 8
+        assert net.link_messages(0, 1) == 2
+        assert net.link_bytes(1, 0) == 2
+        assert net.links() == [(0, -2), (0, 1), (1, 0)]
+        assert net.per_link_rows() == [(0, -2, 1, 1), (0, 1, 2, 8), (1, 0, 1, 2)]
+        # per-link totals and per-kind totals agree
+        assert sum(net.bytes_by_link.values()) == net.total_bytes()
+        assert sum(net.messages_by_link.values()) == net.total_messages()
+
 
 class TestONS:
     def test_lookup_and_update(self):

@@ -1,0 +1,309 @@
+"""Tests for the event-driven site runtime: envelopes, transports,
+nodes, federated query routing, and the cluster orchestrator."""
+
+import pytest
+
+from repro.core.service import ServiceConfig
+from repro.distributed.coordinator import DistributedDeployment
+from repro.distributed.network import Network
+from repro.queries.q2 import TemperatureExposureQuery
+from repro.runtime import (
+    Cluster,
+    ClusterSnapshot,
+    Envelope,
+    InProcessTransport,
+    ThreadedTransport,
+)
+from repro.runtime.envelope import (
+    INFERENCE_STATE,
+    QUERY_STATE,
+    decode_query_bundle,
+    decode_single_query_state,
+    decode_state_bundle,
+    decode_tag_list,
+    encode_query_bundle,
+    encode_single_query_state,
+    encode_state_bundle,
+    encode_tag_list,
+)
+from repro.sim.tags import EPC, TagKind
+from repro.workloads.scenarios import cold_chain_scenario
+
+
+def tags(n, kind=TagKind.ITEM):
+    return [EPC(kind, i) for i in range(n)]
+
+
+class TestEnvelopeCodecs:
+    def test_tag_list_round_trip(self):
+        original = tags(5) + [EPC(TagKind.CASE, 9)]
+        assert decode_tag_list(encode_tag_list(original)) == original
+        assert decode_tag_list(encode_tag_list([])) == []
+
+    def test_state_bundle_round_trip(self):
+        states = {t: bytes([i] * 12) for i, t in enumerate(tags(4))}
+        assert decode_state_bundle(encode_state_bundle(states)) == states
+
+    def test_state_bundle_compresses_similar_states(self):
+        shared = bytes(range(40))
+        states = {t: shared + bytes([i]) for i, t in enumerate(tags(10))}
+        bundle = encode_state_bundle(states)
+        assert len(bundle) < sum(len(s) for s in states.values())
+
+    def test_query_bundle_round_trip(self):
+        per_query = {
+            "q1": {t: bytes([1, 2, i]) for i, t in enumerate(tags(3))},
+            "path": {tags(1)[0]: b"\x01\x00"},
+        }
+        assert decode_query_bundle(encode_query_bundle(per_query)) == per_query
+
+    def test_single_query_state_round_trip(self):
+        tag = EPC(TagKind.ITEM, 42)
+        name, back_tag, data = decode_single_query_state(
+            encode_single_query_state("q2", tag, b"\x07\x08")
+        )
+        assert (name, back_tag, data) == ("q2", tag, b"\x07\x08")
+
+
+class TestInProcessTransport:
+    def test_delivers_and_accounts(self):
+        transport = InProcessTransport()
+        received = []
+        transport.register(1, received.append)
+        transport.send(Envelope(0, 1, "x", b"12345", time=7))
+        transport.flush()
+        assert len(received) == 1 and received[0].payload == b"12345"
+        assert transport.ledger.bytes_by_kind["x"] == 5
+        assert transport.ledger.link_bytes(0, 1) == 5
+        assert transport.ledger.link_messages(0, 1) == 1
+
+    def test_unregistered_destination_accounted_but_dropped(self):
+        transport = InProcessTransport()
+        transport.send(Envelope(0, -2, "ons-lookup", b"ab"))
+        assert transport.ledger.bytes_by_kind["ons-lookup"] == 2
+
+    def test_duplicate_registration_rejected(self):
+        transport = InProcessTransport()
+        transport.register(0, lambda env: None)
+        with pytest.raises(ValueError):
+            transport.register(0, lambda env: None)
+
+    def test_external_ledger(self):
+        ledger = Network()
+        transport = InProcessTransport(ledger=ledger)
+        transport.send(Envelope(0, 1, "x", b"abc"))
+        assert ledger.total_bytes() == 3
+
+
+class TestThreadedTransport:
+    def test_delivers_across_threads(self):
+        with ThreadedTransport() as transport:
+            received = []
+            transport.register(1, received.append)
+            for i in range(20):
+                transport.send(Envelope(0, 1, "x", bytes([i])))
+            transport.flush()
+            assert [env.payload[0] for env in received] == list(range(20))
+
+    def test_flush_waits_for_relay_chains(self):
+        with ThreadedTransport() as transport:
+            sink = []
+
+            def relay(env):
+                transport.send(Envelope(1, 2, "hop", env.payload + b"!"))
+
+            transport.register(1, relay)
+            transport.register(2, sink.append)
+            transport.send(Envelope(0, 1, "hop", b"a"))
+            transport.flush()
+            assert sink and sink[0].payload == b"a!"
+            assert transport.ledger.messages_by_kind["hop"] == 2
+
+    def test_handler_errors_surface_at_flush(self):
+        with ThreadedTransport() as transport:
+            def boom(env):
+                raise RuntimeError("kaboom")
+
+            transport.register(1, boom)
+            transport.send(Envelope(0, 1, "x", b""))
+            with pytest.raises(RuntimeError):
+                transport.flush()
+
+    def test_dispatch_runs_on_worker(self):
+        import threading
+
+        with ThreadedTransport() as transport:
+            transport.register(3, lambda env: None)
+            seen = []
+            transport.dispatch(3, lambda: seen.append(threading.current_thread().name))
+            transport.flush()
+            assert seen == ["site-3"]
+
+    def test_close_is_idempotent(self):
+        transport = ThreadedTransport()
+        transport.register(0, lambda env: None)
+        transport.close()
+        transport.close()
+        with pytest.raises(RuntimeError):
+            transport.send(Envelope(0, 0, "x", b""))
+
+
+@pytest.fixture(scope="module")
+def chain_config():
+    return ServiceConfig(
+        run_interval=300, recent_history=600, truncation="cr", emit_events=False
+    )
+
+
+class TestClusterDeterminism:
+    def test_threaded_matches_inprocess(self, multi_site_chain, chain_config):
+        """Acceptance: both transports produce identical results."""
+        inproc = Cluster(multi_site_chain.traces, chain_config)
+        inproc.run(multi_site_chain.params.horizon)
+        with ThreadedTransport() as transport:
+            threaded = Cluster(
+                multi_site_chain.traces, chain_config, transport=transport
+            )
+            threaded.run(multi_site_chain.params.horizon)
+            assert threaded.containment_error(
+                multi_site_chain.truth
+            ) == inproc.containment_error(multi_site_chain.truth)
+            assert dict(threaded.network.bytes_by_kind) == dict(
+                inproc.network.bytes_by_kind
+            )
+            assert dict(threaded.network.bytes_by_link) == dict(
+                inproc.network.bytes_by_link
+            )
+            assert [m.tag for m in threaded.migrations] == [
+                m.tag for m in inproc.migrations
+            ]
+            for a, b in zip(threaded.snapshots, inproc.snapshots):
+                assert a.time == b.time and a.containment == b.containment
+
+
+class TestBatchedMigration:
+    def test_batching_reduces_bytes_same_results(self, multi_site_chain, chain_config):
+        batched = Cluster(multi_site_chain.traces, chain_config, batch_migrations=True)
+        batched.run(multi_site_chain.params.horizon)
+        per_tag = Cluster(multi_site_chain.traces, chain_config, batch_migrations=False)
+        per_tag.run(multi_site_chain.params.horizon)
+        assert (
+            batched.network.bytes_by_kind[INFERENCE_STATE]
+            < per_tag.network.bytes_by_kind[INFERENCE_STATE]
+        )
+        assert (
+            batched.network.messages_by_kind[INFERENCE_STATE]
+            < per_tag.network.messages_by_kind[INFERENCE_STATE]
+        )
+        assert batched.containment_error(
+            multi_site_chain.truth
+        ) == per_tag.containment_error(multi_site_chain.truth)
+
+
+@pytest.fixture(scope="module")
+def federated_scenario():
+    return cold_chain_scenario(
+        seed=7,
+        n_sites=2,
+        n_freezer_cases=6,
+        n_room_cases=3,
+        items_per_case=6,
+        n_exposures=4,
+        horizon=1500,
+        site_leave_time=700,
+    )
+
+
+def run_federated(scenario, transport=None):
+    config = ServiceConfig(
+        run_interval=300,
+        recent_history=600,
+        truncation="cr",
+        emit_events=True,
+        event_period=5,
+    )
+    cluster = Cluster(scenario.traces, config, transport=transport)
+    cluster.add_query(
+        "q2",
+        lambda site: TemperatureExposureQuery(scenario.catalog, exposure_duration=400),
+    )
+    cluster.set_sensor_streams(
+        {site: scenario.sensor_stream(site) for site in range(len(scenario.traces))}
+    )
+    cluster.run(scenario.horizon)
+    return cluster
+
+
+class TestFederatedQueryRouting:
+    def test_query_state_migrates_and_alerts_continue(self, federated_scenario):
+        scenario = federated_scenario
+        cluster = run_federated(scenario)
+        exposed = {tag for tag, _, back in scenario.exposures if back is None}
+        # Query state actually crossed the wire.
+        assert cluster.network.bytes_by_kind[QUERY_STATE] > 0
+        # Exposure runs that started at site 0 alert at site 1...
+        site1_alerts = cluster.nodes[1].queries["q2"].alerts
+        assert exposed <= {a.key for a in site1_alerts}
+        # ...and keep their pre-migration start time (continuity): the
+        # run began before the goods left site 0.
+        for alert in site1_alerts:
+            if alert.key in exposed:
+                assert alert.start_time < 700
+
+    def test_threaded_federation_matches(self, federated_scenario):
+        scenario = federated_scenario
+        inproc = run_federated(scenario)
+        with ThreadedTransport() as transport:
+            threaded = run_federated(scenario, transport=transport)
+            key = lambda c: sorted(
+                (str(a.key), a.start_time, a.end_time)
+                for node in c.nodes
+                for a in node.queries["q2"].alerts
+            )
+            assert key(threaded) == key(inproc)
+            assert dict(threaded.network.bytes_by_kind) == dict(
+                inproc.network.bytes_by_kind
+            )
+
+
+class TestFacade:
+    def test_facade_surface(self, deployments_facade):
+        deployment = deployments_facade
+        assert len(deployment.services) == 3
+        assert deployment.migrations
+        assert deployment.snapshots
+        assert deployment.communication_bytes() > 0
+        assert 0.0 <= deployment.containment_error() <= 1.0
+
+    def test_containment_error_guards_time_zero(self, multi_site_chain, chain_config):
+        """Regression: a snapshot at time 0 must not index truth at -1."""
+        deployment = DistributedDeployment(multi_site_chain, chain_config)
+        item = multi_site_chain.truth.items()[0]
+        deployment.cluster.snapshots.append(
+            ClusterSnapshot(0, {item: None}, {item})
+        )
+        error = deployment.containment_error()
+        assert 0.0 <= error <= 1.0
+
+    def test_containment_error_empty_snapshots(self, multi_site_chain, chain_config):
+        """Regression: the empty-snapshot path returns 0, not NaN/crash."""
+        deployment = DistributedDeployment(multi_site_chain, chain_config)
+        assert deployment.containment_error() == 0.0
+        deployment.cluster.snapshots.append(ClusterSnapshot(300, {}, set()))
+        assert deployment.containment_error() == 0.0
+
+    def test_network_and_transport_both_rejected(self, multi_site_chain, chain_config):
+        with pytest.raises(ValueError):
+            DistributedDeployment(
+                multi_site_chain,
+                chain_config,
+                network=Network(),
+                transport=InProcessTransport(),
+            )
+
+
+@pytest.fixture(scope="module")
+def deployments_facade(multi_site_chain, chain_config):
+    deployment = DistributedDeployment(multi_site_chain, chain_config)
+    deployment.run()
+    return deployment

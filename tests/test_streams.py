@@ -136,6 +136,68 @@ class TestPattern:
             pattern.push(Tick(time, "x", 1.0))
         assert len(pattern.state_of("x").values) == 4
 
+    def test_absorb_into_empty_adopts(self):
+        pattern = self.make(duration=10)
+        pattern.push(Tick(0, "x", 1.0))
+        other = self.make(duration=10)
+        other.absorb_state("x", pattern.export_state("x"))
+        other.push(Tick(11, "x", 2.0))
+        assert len(other.alerts) == 1
+
+    def test_absorb_merges_with_local_partial(self):
+        """A migrated run merges with the partial formed at the new
+        site: earliest start wins, so the duration spans the hand-off."""
+        origin = self.make(duration=10)
+        origin.push(Tick(0, "x", 1.0))
+        origin.push(Tick(4, "x", 2.0))
+        local = self.make(duration=10)
+        local.push(Tick(7, "x", 3.0))  # new site's own young partial
+        local.absorb_state("x", origin.export_state("x"))
+        state = local.state_of("x")
+        assert state.stage == 1
+        assert state.start_time == 0
+        assert state.values == [1.0, 2.0, 3.0]
+        local.push(Tick(11, "x", 4.0))  # 11 > 0 + 10: fires on merge
+        assert len(local.alerts) == 1
+        assert local.alerts[0].start_time == 0
+
+    def test_absorb_fires_when_merged_span_satisfies_duration(self):
+        """If the combined cross-site span already exceeds the duration
+        at hand-off time, the alert fires at the merge — there may be
+        no further qualifying event to trigger it later."""
+        origin = self.make(duration=10)
+        origin.push(Tick(0, "x", 1.0))
+        origin.push(Tick(4, "x", 2.0))
+        local = self.make(duration=10)
+        local.push(Tick(11, "x", 3.0))  # last local event before hand-off
+        local.absorb_state("x", origin.export_state("x"))
+        assert len(local.alerts) == 1
+        alert = local.alerts[0]
+        assert alert.start_time == 0 and alert.end_time == 11
+        assert local.state_of("x").stage == 2
+        local.push(Tick(30, "x", 4.0))
+        assert len(local.alerts) == 1  # no duplicate for the same run
+
+    def test_absorb_fired_state_suppresses_refire(self):
+        origin = self.make(duration=5)
+        origin.push(Tick(0, "x", 1.0))
+        origin.push(Tick(6, "x", 1.0))  # fires at the origin site
+        assert len(origin.alerts) == 1
+        local = self.make(duration=5)
+        local.push(Tick(8, "x", 1.0))
+        local.absorb_state("x", origin.export_state("x"))
+        local.push(Tick(20, "x", 1.0))
+        assert local.alerts == []  # the same run does not alert twice
+
+    def test_absorb_quiescent_state_is_inert(self):
+        local = self.make(duration=10)
+        local.push(Tick(3, "x", 1.0))
+        from repro.streams.pattern import PatternState
+
+        local.absorb_state("x", PatternState())  # stage-0 incoming
+        state = local.state_of("x")
+        assert state.stage == 1 and state.start_time == 3
+
     def test_export_import_state(self):
         pattern = self.make(duration=10)
         pattern.push(Tick(0, "x", 1.0))
