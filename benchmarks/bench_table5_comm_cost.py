@@ -18,6 +18,11 @@ Two extensions over the bare table:
   per-tag baseline vs the batched runtime and prints the saving.
 * **Per-link breakdown** — the transport ledger's ``(src, dst)``
   counters, printed for the highest read rate.
+* **Fault overhead** — the same federated run over a seeded
+  :class:`~repro.runtime.faults.FaultyTransport`: per-kind data bytes
+  are byte-identical to the reliable run (the at-least-once layer's
+  invariant) and the cost of surviving the lossy network shows up as
+  its own ``retransmit``/``ack`` ledger kinds.
 
 ``BENCH_HORIZON`` (env) shrinks the trace for CI smoke runs.
 """
@@ -29,14 +34,16 @@ from _common import emit_table
 from repro.core.service import ServiceConfig
 from repro.distributed.centralized import CentralizedDeployment
 from repro.distributed.coordinator import DistributedDeployment
+from repro.distributed.network import FAULT_OVERHEAD_KINDS
 from repro.queries.tracking import PathDeviationQuery
-from repro.runtime import Cluster
+from repro.runtime import Cluster, FaultPlan, FaultyTransport
 from repro.sim.supplychain import SupplyChainParams, simulate
 from repro.sim.warehouse import WarehouseParams
 
 READ_RATES = [0.6, 0.7, 0.8, 0.9]
 HORIZON = int(os.environ.get("BENCH_HORIZON", "2400"))
 MIGRATED_KINDS = ("inference-state", "query-state")
+CHAOS_SEED = 17
 
 
 def make_chain(rr: float):
@@ -54,10 +61,10 @@ def make_chain(rr: float):
     )
 
 
-def run_federated(result, config, batch: bool):
+def run_federated(result, config, batch: bool, transport=None):
     """A cluster with the tracking query registered, batched or per-tag."""
     routes = {tag: (0, 1, 2) for tag in result.truth.tags()}
-    cluster = Cluster(result.traces, config, batch_migrations=batch)
+    cluster = Cluster(result.traces, config, batch_migrations=batch, transport=transport)
     cluster.add_query("path", lambda site: PathDeviationQuery(routes))
     cluster.run(HORIZON)
     migrated = sum(cluster.network.bytes_by_kind[k] for k in MIGRATED_KINDS)
@@ -114,11 +121,48 @@ def run_sweep():
                 [f"{src} -> {dst}", msgs, f"{nbytes:,}"]
                 for src, dst, msgs, nbytes in batched_cluster.network.per_link_rows()
             ]
-    return rows, bundling_rows, link_rows
+            fault_rows = fault_overhead_rows(result, query_config, batched_cluster)
+    return rows, bundling_rows, link_rows, fault_rows
+
+
+def fault_overhead_rows(result, config, reliable_cluster):
+    """Table 5d: the reliable run vs the same run over a chaos plan."""
+    faulty_cluster, _ = run_federated(
+        result,
+        config,
+        batch=True,
+        transport=FaultyTransport(FaultPlan.chaos(CHAOS_SEED)),
+    )
+    reliable = reliable_cluster.network
+    faulty = faulty_cluster.network
+    kinds = sorted(set(reliable.bytes_by_kind) | set(faulty.bytes_by_kind))
+    rows = [
+        [
+            kind,
+            f"{reliable.bytes_by_kind[kind]:,}",
+            f"{faulty.bytes_by_kind[kind]:,}",
+            "overhead" if kind in FAULT_OVERHEAD_KINDS else "data",
+        ]
+        for kind in kinds
+    ]
+    rows.append(
+        [
+            "total",
+            f"{reliable.total_bytes():,}",
+            f"{faulty.total_bytes():,}",
+            f"+{faulty.fault_overhead_bytes():,} fault overhead",
+        ]
+    )
+    assert faulty.data_bytes_by_kind() == reliable.data_bytes_by_kind()
+    assert faulty.bytes_by_kind["retransmit"] > 0
+    assert faulty_cluster.containment_error(
+        result.truth
+    ) == reliable_cluster.containment_error(result.truth)
+    return rows
 
 
 def test_table5_comm_cost(benchmark):
-    rows, bundling_rows, link_rows = benchmark.pedantic(
+    rows, bundling_rows, link_rows, fault_rows = benchmark.pedantic(
         run_sweep, rounds=1, iterations=1
     )
     emit_table(
@@ -135,6 +179,11 @@ def test_table5_comm_cost(benchmark):
         "Table 5c per-link traffic at top RR (batched; -2 = ONS)",
         ["link", "messages", "bytes"],
         link_rows,
+    )
+    emit_table(
+        f"Table 5d fault overhead at top RR (chaos seed {CHAOS_SEED})",
+        ["kind", "reliable", "faulty", "class"],
+        fault_rows,
     )
     for row in rows:
         central = int(row[1].replace(",", ""))

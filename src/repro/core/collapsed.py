@@ -17,24 +17,9 @@ import struct
 from dataclasses import dataclass, field
 
 from repro._util.encoding import ByteReader, ByteWriter
-from repro.sim.tags import EPC, TagKind
+from repro.sim.tags import EPC, read_opt_epc, write_opt_epc
 
 __all__ = ["CollapsedState"]
-
-
-def _write_epc(writer: ByteWriter, tag: EPC | None) -> None:
-    if tag is None:
-        writer.varint(3)  # sentinel kind
-        return
-    writer.varint(int(tag.kind))
-    writer.varint(tag.serial)
-
-
-def _read_epc(reader: ByteReader) -> EPC | None:
-    kind = reader.varint()
-    if kind == 3:
-        return None
-    return EPC(TagKind(kind), reader.varint())
 
 
 @dataclass
@@ -63,12 +48,12 @@ class CollapsedState:
 
     def to_bytes(self) -> bytes:
         writer = ByteWriter()
-        _write_epc(writer, self.tag)
-        _write_epc(writer, self.container)
+        write_opt_epc(writer, self.tag)
+        write_opt_epc(writer, self.container)
         writer.varint(0 if self.changed_at is None else self.changed_at + 1)
         writer.varint(len(self.weights))
         for candidate in sorted(self.weights):
-            _write_epc(writer, candidate)
+            write_opt_epc(writer, candidate)
             writer.float32(self.weights[candidate])
         return writer.getvalue()
 
@@ -90,16 +75,16 @@ class CollapsedState:
 
     @classmethod
     def _decode(cls, reader: ByteReader) -> "CollapsedState":
-        tag = _read_epc(reader)
+        tag = read_opt_epc(reader)
         if tag is None:
             raise ValueError("collapsed state must name its object")
-        container = _read_epc(reader)
+        container = read_opt_epc(reader)
         raw_changed = reader.varint()
         changed_at = None if raw_changed == 0 else raw_changed - 1
         count = reader.varint()
         weights: dict[EPC, float] = {}
         for _ in range(count):
-            candidate = _read_epc(reader)
+            candidate = read_opt_epc(reader)
             weight = reader.float32()
             if candidate is not None:
                 weights[candidate] = weight

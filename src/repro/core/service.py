@@ -95,6 +95,12 @@ class StreamingInference:
         self.valid_from: dict[EPC, int] = {}
         self.critical_regions: dict[EPC, CriticalRegion] = {}
         self.prior_weights: dict[EPC, dict[EPC, float]] = {}
+        #: each object's candidate weights from the most recent run that
+        #: covered it — the collapsed state exported on migration. Kept
+        #: as its own map (not recovered from ``runs``) so a site
+        #: restored from a checkpoint exports exactly what it would have
+        #: without the crash.
+        self.last_weights: dict[EPC, dict[EPC, float]] = {}
         self.changes: list[ChangePoint] = []
         self.events: list[ObjectEvent] = []
         self.runs: list[RunRecord] = []
@@ -142,12 +148,11 @@ class StreamingInference:
         evidence forever — §4.1 requires that readings at the new place
         "will eventually overrule the old weights".
         """
-        weights = dict(self.prior_weights.get(tag, {}))
-        for record in reversed(self.runs):
-            if record.result is not None and tag in record.result.weights:
-                # The run's weights already include migrated priors.
-                weights = dict(record.result.weights[tag])
-                break
+        if tag in self.last_weights:
+            # The run's weights already include migrated priors.
+            weights = dict(self.last_weights[tag])
+        else:
+            weights = dict(self.prior_weights.get(tag, {}))
         if weights:
             peak = max(weights.values())
             weights = {
@@ -248,6 +253,8 @@ class StreamingInference:
         )
         result = engine.run()
         self._seeded_only.difference_update(result.containment)
+        for obj, obj_weights in result.weights.items():
+            self.last_weights[obj] = dict(obj_weights)
 
         run_changes: list[ChangePoint] = []
         if config.change_detection and config.inference.keep_evidence:

@@ -99,5 +99,9 @@ class DistributedDeployment:
     def communication_bytes(self) -> int:
         return self.cluster.communication_bytes()
 
+    def fault_overhead_bytes(self) -> int:
+        """Retransmit + ack bytes (nonzero only on lossy transports)."""
+        return self.cluster.fault_overhead_bytes()
+
     def close(self) -> None:
         self.cluster.close()

@@ -7,6 +7,12 @@ is simply the per-kind sums it accumulates, and the per-link
 
 Synthetic site ids appear as endpoints: ``-1`` is the central server
 (centralized baseline), ``-2`` the Object Naming Service.
+
+Fault-tolerance traffic is kept out of the paper's data kinds: the
+at-least-once layer accounts retransmitted payload bytes under the
+``retransmit`` kind and acknowledgement frames under ``ack``, so a run
+over a lossy transport reports byte-identical *data* totals to the
+fault-free run plus an explicit fault-overhead column (Table 5d).
 """
 
 from __future__ import annotations
@@ -15,7 +21,21 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
-__all__ = ["Message", "Network"]
+__all__ = [
+    "Message",
+    "Network",
+    "ACK",
+    "RETRANSMIT",
+    "FAULT_OVERHEAD_KINDS",
+]
+
+#: ledger kind for at-least-once acknowledgement frames.
+ACK = "ack"
+#: ledger kind for every repeated transmission of a sequenced envelope —
+#: reliability-layer retransmits and network-injected duplicates alike.
+RETRANSMIT = "retransmit"
+#: kinds that exist only because links are lossy.
+FAULT_OVERHEAD_KINDS = (ACK, RETRANSMIT)
 
 
 class Message(NamedTuple):
@@ -54,6 +74,23 @@ class Network:
 
     def total_messages(self) -> int:
         return sum(self.messages_by_kind.values())
+
+    # -- fault-overhead breakdown --------------------------------------------
+
+    def data_bytes_by_kind(self) -> dict[str, int]:
+        """Per-kind byte totals excluding reliability-layer overhead.
+
+        Under any seeded fault plan these match the fault-free run
+        exactly (the chaos harness's ledger invariant)."""
+        return {
+            kind: count
+            for kind, count in self.bytes_by_kind.items()
+            if kind not in FAULT_OVERHEAD_KINDS
+        }
+
+    def fault_overhead_bytes(self) -> int:
+        """Bytes spent surviving the network: retransmits + acks."""
+        return sum(self.bytes_by_kind[kind] for kind in FAULT_OVERHEAD_KINDS)
 
     # -- per-link breakdown --------------------------------------------------
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from difflib import SequenceMatcher
 
 from repro._util.encoding import ByteReader, ByteWriter
-from repro.sim.tags import EPC, TagKind
+from repro.sim.tags import EPC, read_epc, write_epc
 
 __all__ = ["byte_distance", "state_diff", "apply_diff", "SharedStateBundle", "centroid_compress"]
 
@@ -107,14 +107,6 @@ def apply_diff(base: bytes, diff: bytes) -> bytes:
     return bytes(out)
 
 
-def _write_epc(writer: ByteWriter, tag: EPC) -> None:
-    writer.varint(int(tag.kind)).varint(tag.serial)
-
-
-def _read_epc(reader: ByteReader) -> EPC:
-    return EPC(TagKind(reader.varint()), reader.varint())
-
-
 @dataclass
 class SharedStateBundle:
     """A centroid plus per-object diffs, ready for the wire."""
@@ -125,23 +117,23 @@ class SharedStateBundle:
 
     def to_bytes(self) -> bytes:
         writer = ByteWriter()
-        _write_epc(writer, self.centroid_tag)
+        write_epc(writer, self.centroid_tag)
         writer.blob(self.centroid_state)
         writer.varint(len(self.diffs))
         for tag in sorted(self.diffs):
-            _write_epc(writer, tag)
+            write_epc(writer, tag)
             writer.blob(self.diffs[tag])
         return writer.getvalue()
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "SharedStateBundle":
         reader = ByteReader(data)
-        centroid_tag = _read_epc(reader)
+        centroid_tag = read_epc(reader)
         centroid_state = reader.blob()
         count = reader.varint()
         diffs: dict[EPC, bytes] = {}
         for _ in range(count):
-            tag = _read_epc(reader)
+            tag = read_epc(reader)
             diffs[tag] = reader.blob()
         return cls(centroid_tag, centroid_state, diffs)
 

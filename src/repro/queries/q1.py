@@ -22,17 +22,70 @@ minutes long, not days.
 
 from __future__ import annotations
 
+import struct
 from typing import Hashable, NamedTuple
 
+from repro._util.encoding import ByteReader, ByteWriter
 from repro.core.events import ObjectEvent
 from repro.sim.sensors import SensorReading
 from repro.streams.operators import LatestByKey
 from repro.streams.pattern import KleeneDurationPattern, PatternAlert, PatternState
-from repro.streams.state import decode_pattern_state, encode_pattern_state
+from repro.streams.state import (
+    decode_pattern_state,
+    encode_pattern_state,
+    restore_pattern,
+    snapshot_pattern,
+)
 from repro.sim.tags import EPC
 from repro.workloads.catalog import ProductCatalog
 
-__all__ = ["FreezerExposureQuery", "ExposureTuple"]
+__all__ = [
+    "FreezerExposureQuery",
+    "ExposureTuple",
+    "snapshot_exposure_query",
+    "restore_exposure_query",
+]
+
+
+def snapshot_exposure_query(query) -> bytes:
+    """Checkpoint an exposure query (Q1/Q2): automaton states, fired
+    alerts, and the ``[Partition By sensor Rows 1]`` temperature table.
+
+    The temperature table matters for crash recovery: without it, the
+    first events after a restart would find no latest reading and the
+    restored site would silently miss pattern pushes the fault-free run
+    made.
+    """
+    writer = ByteWriter()
+    writer.blob(snapshot_pattern(query.pattern))
+    table = query.temperature.table
+    writer.varint(len(table))
+    for key in sorted(table):
+        reading = table[key]
+        writer.varint(reading.time)
+        writer.svarint(reading.site)
+        writer.varint(reading.sensor)
+        writer.float64(reading.temp)
+    return writer.getvalue()
+
+
+def restore_exposure_query(query, data: bytes) -> None:
+    """Inverse of :func:`snapshot_exposure_query`."""
+    reader = ByteReader(data)
+    try:
+        restore_pattern(query.pattern, reader.blob())
+        table = {}
+        for _ in range(reader.varint()):
+            reading = SensorReading(
+                time=reader.varint(),
+                site=reader.svarint(),
+                sensor=reader.varint(),
+                temp=reader.float64(),
+            )
+            table[(reading.site, reading.sensor)] = reading
+    except (EOFError, struct.error, IndexError) as exc:
+        raise ValueError(f"malformed exposure-query snapshot: {exc}") from exc
+    query.temperature.table = table
 
 
 class ExposureTuple(NamedTuple):
@@ -110,3 +163,11 @@ class FreezerExposureQuery:
     def active_states(self) -> dict[EPC, PatternState]:
         """Per-object automaton states currently held (for sharing)."""
         return dict(self.pattern.states)
+
+    # -- checkpoint hooks (crash recovery) --------------------------------
+
+    def snapshot_state(self) -> bytes:
+        return snapshot_exposure_query(self)
+
+    def restore_state(self, data: bytes) -> None:
+        restore_exposure_query(self, data)

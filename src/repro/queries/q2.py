@@ -11,7 +11,11 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.core.events import ObjectEvent
-from repro.queries.q1 import ExposureTuple
+from repro.queries.q1 import (
+    ExposureTuple,
+    restore_exposure_query,
+    snapshot_exposure_query,
+)
 from repro.sim.sensors import SensorReading
 from repro.sim.tags import EPC
 from repro.streams.operators import LatestByKey
@@ -73,3 +77,11 @@ class TemperatureExposureQuery:
 
     def active_states(self) -> dict[EPC, PatternState]:
         return dict(self.pattern.states)
+
+    # -- checkpoint hooks (crash recovery) --------------------------------
+
+    def snapshot_state(self) -> bytes:
+        return snapshot_exposure_query(self)
+
+    def restore_state(self, data: bytes) -> None:
+        restore_exposure_query(self, data)

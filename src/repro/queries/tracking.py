@@ -14,7 +14,7 @@ from typing import NamedTuple
 
 from repro._util.encoding import ByteReader, ByteWriter
 from repro.core.events import ObjectEvent
-from repro.sim.tags import EPC
+from repro.sim.tags import EPC, read_epc, write_epc
 
 __all__ = ["PathDeviationQuery", "DeviationAlert"]
 
@@ -105,3 +105,50 @@ class PathDeviationQuery:
             if not merged or merged[-1] != site:
                 merged.append(site)
         state.history = merged
+
+    # -- checkpoint hooks (crash recovery) ---------------------------------
+
+    def snapshot_state(self) -> bytes:
+        """Checkpoint all route progress and fired alerts (routes are
+        constructor state and come back with the rebuilt instance)."""
+        writer = ByteWriter()
+        writer.varint(len(self.progress))
+        for tag in sorted(self.progress):
+            state = self.progress[tag]
+            write_epc(writer, tag)
+            writer.varint(state.position)
+            writer.varint(1 if state.deviated else 0)
+            writer.varint(len(state.history))
+            for site in state.history:
+                writer.svarint(site)
+        writer.varint(len(self.alerts))
+        for alert in self.alerts:
+            write_epc(writer, alert.tag)
+            writer.varint(alert.time)
+            writer.svarint(alert.site)
+            writer.varint(len(alert.expected))
+            for site in alert.expected:
+                writer.svarint(site)
+        return writer.getvalue()
+
+    def restore_state(self, data: bytes) -> None:
+        reader = ByteReader(data)
+        try:
+            progress: dict[EPC, _RouteProgress] = {}
+            for _ in range(reader.varint()):
+                tag = read_epc(reader)
+                position = reader.varint()
+                deviated = bool(reader.varint())
+                history = [reader.svarint() for _ in range(reader.varint())]
+                progress[tag] = _RouteProgress(position, deviated, history)
+            alerts: list[DeviationAlert] = []
+            for _ in range(reader.varint()):
+                tag = read_epc(reader)
+                time = reader.varint()
+                site = reader.svarint()
+                expected = tuple(reader.svarint() for _ in range(reader.varint()))
+                alerts.append(DeviationAlert(tag, time, site, expected))
+        except EOFError as exc:
+            raise ValueError(f"malformed tracking snapshot: {exc}") from exc
+        self.progress = progress
+        self.alerts = alerts

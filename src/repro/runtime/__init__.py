@@ -15,7 +15,12 @@ a :class:`~repro.runtime.cluster.Cluster`:
 * :mod:`repro.runtime.router` — federated query routing: per-object
   automaton state migrates alongside inference state;
 * :mod:`repro.runtime.cluster` — the interval schedule (tick → route →
-  snapshot) replacing the old lockstep loop.
+  snapshot) replacing the old lockstep loop;
+* :mod:`repro.runtime.faults` — seeded per-link fault injection
+  (drop/duplicate/delay/reorder) over any transport;
+* :mod:`repro.runtime.checkpoint` — the site checkpoint format behind
+  :meth:`SiteNode.snapshot`/:meth:`SiteNode.restore` and
+  :meth:`Cluster.crash`/:meth:`Cluster.recover`.
 
 The legacy :class:`repro.distributed.coordinator.DistributedDeployment`
 is now a thin facade over this runtime.
@@ -23,6 +28,7 @@ is now a thin facade over this runtime.
 
 from repro.runtime.cluster import Cluster, ClusterSnapshot
 from repro.runtime.envelope import Envelope, MigrationEvent
+from repro.runtime.faults import FaultPlan, FaultyTransport, LinkFaults
 from repro.runtime.node import SiteNode
 from repro.runtime.router import QueryRouter
 from repro.runtime.transport import InProcessTransport, ThreadedTransport, Transport
@@ -31,7 +37,10 @@ __all__ = [
     "Cluster",
     "ClusterSnapshot",
     "Envelope",
+    "FaultPlan",
+    "FaultyTransport",
     "InProcessTransport",
+    "LinkFaults",
     "MigrationEvent",
     "QueryRouter",
     "SiteNode",

@@ -1,0 +1,221 @@
+"""Site checkpoint wire format (crash recovery).
+
+A checkpoint captures everything a :class:`~repro.runtime.node.SiteNode`
+needs to resume *exactly* where it was at an interval boundary:
+
+* **inference state** — containment estimates, change floors, migrated
+  priors, each object's latest run weights, seeded-only marks, critical
+  regions, detected change points, and the calibrated change threshold;
+* **query state** — one blob per registered query via its
+  ``snapshot_state`` hook (automaton states, alert logs, operator
+  tables — see :mod:`repro.streams.state` and :mod:`repro.queries`);
+* **cursors** — the arrival-detection ``seen`` set, the sensor-stream
+  position, absorbed migrations, and the at-least-once delivery
+  cursors (per-link next sequence numbers and applied-sequence sets),
+  so a restored site neither re-applies old envelopes nor re-detects
+  old arrivals.
+
+Weights and scores are serialized as float64: migration rounds to
+float32 to keep Table 5 honest, but a checkpoint that rounded would
+make the recovered run diverge bit-from-bit from the run that never
+crashed — the exact property the chaos harness enforces.
+
+Like every other wire format in this repository, malformed input
+raises :class:`ValueError`, never a bare decoder error.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.core.changepoint import ChangePoint
+from repro.core.truncation import CriticalRegion
+from repro.runtime.envelope import MigrationEvent
+from repro.sim.tags import EPC, read_epc, read_opt_epc, write_epc, write_opt_epc
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.node import SiteNode
+
+__all__ = ["encode_site_checkpoint", "restore_site_checkpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def _write_weight_map(writer: ByteWriter, weights: dict[EPC, dict[EPC, float]]) -> None:
+    writer.varint(len(weights))
+    for tag in sorted(weights):
+        write_epc(writer, tag)
+        per_tag = weights[tag]
+        writer.varint(len(per_tag))
+        for candidate in sorted(per_tag):
+            write_epc(writer, candidate)
+            writer.float64(per_tag[candidate])
+
+
+def _read_weight_map(reader: ByteReader) -> dict[EPC, dict[EPC, float]]:
+    out: dict[EPC, dict[EPC, float]] = {}
+    for _ in range(reader.varint()):
+        tag = read_epc(reader)
+        out[tag] = {
+            read_epc(reader): reader.float64() for _ in range(reader.varint())
+        }
+    return out
+
+
+def encode_site_checkpoint(node: "SiteNode") -> bytes:
+    """Serialize ``node``'s full volatile state at an interval boundary."""
+    service = node.service
+    writer = ByteWriter()
+    writer.varint(CHECKPOINT_VERSION)
+    writer.svarint(node.site)
+    writer.varint(service.last_run_time)
+    # The calibrated change threshold (recomputable but expensive).
+    threshold = service._threshold
+    writer.varint(0 if threshold is None else 1)
+    if threshold is not None:
+        writer.float64(threshold)
+    # Containment estimates (None containers are real entries).
+    writer.varint(len(service.containment))
+    for tag in sorted(service.containment):
+        write_epc(writer, tag)
+        write_opt_epc(writer, service.containment[tag])
+    writer.varint(len(service.valid_from))
+    for tag in sorted(service.valid_from):
+        write_epc(writer, tag)
+        writer.varint(service.valid_from[tag])
+    _write_weight_map(writer, service.prior_weights)
+    _write_weight_map(writer, service.last_weights)
+    writer.varint(len(service._seeded_only))
+    for tag in sorted(service._seeded_only):
+        write_epc(writer, tag)
+    writer.varint(len(service.critical_regions))
+    for tag in sorted(service.critical_regions):
+        write_epc(writer, tag)
+        region = service.critical_regions[tag]
+        writer.varint(region.start)
+        writer.varint(region.end)
+    writer.varint(len(service.changes))
+    for change in service.changes:
+        write_epc(writer, change.tag)
+        writer.varint(change.time)
+        write_opt_epc(writer, change.old_container)
+        write_opt_epc(writer, change.new_container)
+        writer.float64(change.score)
+    # Node-level cursors.
+    writer.varint(len(node.seen))
+    for tag in sorted(node.seen):
+        write_epc(writer, tag)
+    writer.varint(node._sensor_pos)
+    writer.varint(node.duplicates_dropped)
+    writer.varint(len(node.migrations_in))
+    for event in node.migrations_in:
+        write_epc(writer, event.tag)
+        writer.svarint(event.src)
+        writer.svarint(event.dst)
+        writer.varint(event.time)
+        writer.varint(event.bytes_sent)
+    # Delivery cursors (at-least-once layer). The unacked outbox is
+    # deliberately absent: checkpoints are taken at boundaries, after
+    # the cluster's reliable barrier has drained it.
+    writer.varint(len(node._link_tx))
+    for dst in sorted(node._link_tx):
+        writer.svarint(dst)
+        writer.varint(node._link_tx[dst])
+    writer.varint(len(node._link_rx))
+    for src in sorted(node._link_rx):
+        writer.svarint(src)
+        seqs = sorted(node._link_rx[src])
+        writer.varint(len(seqs))
+        previous = 0
+        for seq in seqs:  # delta-encoded: applied seqs are near-dense
+            writer.varint(seq - previous)
+            previous = seq
+    # Per-query state blobs.
+    query_blobs = node.router.snapshot_queries()
+    writer.varint(len(query_blobs))
+    for name in sorted(query_blobs):
+        writer.text(name)
+        writer.blob(query_blobs[name])
+    return writer.getvalue()
+
+
+def restore_site_checkpoint(node: "SiteNode", data: bytes) -> None:
+    """Rebuild ``node`` from :func:`encode_site_checkpoint` output.
+
+    The node must already be reset (fresh service + fresh query
+    instances); this routine repopulates them.
+    """
+    try:
+        _restore(node, ByteReader(data))
+    except ValueError:
+        raise
+    except (EOFError, struct.error, IndexError, OverflowError) as exc:
+        raise ValueError(f"malformed site checkpoint: {exc}") from exc
+
+
+def _restore(node: "SiteNode", reader: ByteReader) -> None:
+    version = reader.varint()
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+    site = reader.svarint()
+    if site != node.site:
+        raise ValueError(f"checkpoint is for site {site}, not {node.site}")
+    service = node.service
+    service.last_run_time = reader.varint()
+    if reader.varint():
+        service._threshold = reader.float64()
+    service.containment = {
+        read_epc(reader): read_opt_epc(reader) for _ in range(reader.varint())
+    }
+    service.valid_from = {
+        read_epc(reader): reader.varint() for _ in range(reader.varint())
+    }
+    service.prior_weights = _read_weight_map(reader)
+    service.last_weights = _read_weight_map(reader)
+    service._seeded_only = {read_epc(reader) for _ in range(reader.varint())}
+    service.critical_regions = {
+        read_epc(reader): CriticalRegion(reader.varint(), reader.varint())
+        for _ in range(reader.varint())
+    }
+    changes = []
+    for _ in range(reader.varint()):
+        changes.append(
+            ChangePoint(
+                tag=read_epc(reader),
+                time=reader.varint(),
+                old_container=read_opt_epc(reader),
+                new_container=read_opt_epc(reader),
+                score=reader.float64(),
+            )
+        )
+    service.changes = changes
+    node.seen = {read_epc(reader) for _ in range(reader.varint())}
+    node._sensor_pos = reader.varint()
+    node.duplicates_dropped = reader.varint()
+    migrations = []
+    for _ in range(reader.varint()):
+        migrations.append(
+            MigrationEvent(
+                tag=read_epc(reader),
+                src=reader.svarint(),
+                dst=reader.svarint(),
+                time=reader.varint(),
+                bytes_sent=reader.varint(),
+            )
+        )
+    node.migrations_in = migrations
+    node._link_tx = {reader.svarint(): reader.varint() for _ in range(reader.varint())}
+    link_rx: dict[int, set[int]] = {}
+    for _ in range(reader.varint()):
+        src = reader.svarint()
+        seqs: set[int] = set()
+        previous = 0
+        for _ in range(reader.varint()):
+            previous += reader.varint()
+            seqs.add(previous)
+        link_rx[src] = seqs
+    node._link_rx = link_rx
+    blobs = {reader.text(): reader.blob() for _ in range(reader.varint())}
+    node.router.restore_queries(blobs)

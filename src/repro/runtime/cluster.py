@@ -28,6 +28,19 @@ an explicit event-driven schedule per inference interval:
 
 The site-serial routing phase is cheap (dictionary work and small
 payloads); the expensive inference runs are what parallelize.
+
+**Fault tolerance.** Every barrier is a *reliable* barrier: on an
+unreliable transport (:class:`~repro.runtime.faults.FaultyTransport`)
+the cluster keeps flushing and retransmitting each node's unacked
+envelopes until every sequenced message is acknowledged, so by the end
+of each phase all data has actually been applied regardless of drops,
+duplicates, delays, or reordering. :meth:`Cluster.crash` /
+:meth:`Cluster.recover` schedule a site dying mid-interval and
+rejoining from its last per-boundary checkpoint
+(:meth:`~repro.runtime.node.SiteNode.snapshot`); both must land inside
+the same interval — a site still down when the next boundary's
+processing starts raises, because its tick cannot be skipped without
+changing results.
 """
 
 from __future__ import annotations
@@ -64,6 +77,12 @@ class ClusterSnapshot:
 class Cluster:
     """Runs one :class:`SiteNode` per trace over a pluggable transport."""
 
+    #: fallback cap on retransmit rounds per barrier, used when the
+    #: transport does not advertise its own convergence bound (see
+    #: ``FaultyTransport.sync_round_limit``). Hitting the limit means
+    #: the transport genuinely cannot deliver some envelope.
+    MAX_SYNC_ROUNDS = 64
+
     def __init__(
         self,
         traces: Sequence[Trace],
@@ -91,6 +110,16 @@ class Cluster:
         self._current_site: dict[EPC, int] = {}
         self.snapshots: list[ClusterSnapshot] = []
         self.last_boundary = 0
+        # -- fault-tolerance state ------------------------------------------
+        #: query factories, kept so a crashed site can rebuild instances.
+        self._query_factories: dict[str, Callable[[int], Any]] = {}
+        #: scheduled (time, order, op, site) crash/recover events.
+        self._fault_events: list[tuple[int, int, str, int]] = []
+        self._fault_cursor = 0
+        #: latest per-site checkpoints (taken each boundary while fault
+        #: events are scheduled; see :meth:`checkpoint_all`).
+        self._checkpoints: dict[int, bytes] = {}
+        self._down: set[int] = set()
 
     # -- registration ------------------------------------------------------
 
@@ -100,6 +129,7 @@ class Cluster:
 
     def add_query(self, name: str, factory: Callable[[int], Any]) -> None:
         """Instantiate one continuous query per site (``factory(site)``)."""
+        self._query_factories[name] = factory
         for node in self.nodes:
             node.add_query(name, factory(node.site))
 
@@ -115,6 +145,9 @@ class Cluster:
         """Advance every site to ``horizon``, one interval at a time."""
         interval = self.config.run_interval
         for boundary in range(self.last_boundary + interval, horizon + 1, interval):
+            # Crashes/recoveries scheduled inside the elapsed interval
+            # take effect before the boundary's processing begins.
+            self._apply_fault_events(boundary)
             # Route first: objects that arrived during the elapsed
             # interval get their migrated state absorbed *before* the
             # run that covers their arrival readings (§4.1 — the new
@@ -122,20 +155,50 @@ class Cluster:
             for node in self.nodes:
                 fresh = node.poll_arrivals(boundary - interval, boundary)
                 self._route_arrivals(node, fresh, boundary)
-                self.transport.flush()
+                self._sync()
             # Then tick every site — concurrently under a threaded
             # transport; the runs are independent given routed state.
             for node in self.nodes:
                 self.transport.dispatch(node.site, partial(node.advance_to, boundary))
-            self.transport.flush()
+            self._sync()
             # Finally hand off query state owed from this interval's
             # migrations: the origin's tick just processed the objects'
             # final local events, so the automaton state is now final.
             for node in self.nodes:
                 node.flush_query_handoffs(boundary)
-                self.transport.flush()
+                self._sync()
             self.snapshots.append(self._snapshot(boundary))
             self.last_boundary = boundary
+            if self._fault_cursor < len(self._fault_events):
+                # Checkpoints are only needed while crash/recover events
+                # are still ahead; once the last one has been applied,
+                # per-boundary serialization would be pure waste.
+                self.checkpoint_all()
+
+    def _sync(self) -> None:
+        """The reliable barrier: flush, then retransmit until acked.
+
+        On a reliable transport this is a single flush. On a lossy one,
+        each round re-sends every node's unacked envelopes and flushes
+        again (advancing the fault plan's delay rounds), so the barrier
+        returns only once every sequenced message has provably been
+        applied — delivery faults can reorder work *within* a phase but
+        never leak messages across phases.
+        """
+        self.transport.flush()
+        if self.transport.reliable:
+            return
+        limit = getattr(self.transport, "sync_round_limit", self.MAX_SYNC_ROUNDS)
+        for _ in range(limit):
+            if not any(node.unacked_envelopes() for node in self.nodes):
+                return
+            for node in self.nodes:
+                node.retransmit_unacked()
+            self.transport.flush()
+        raise RuntimeError(
+            f"at-least-once delivery did not converge in {limit} "
+            "rounds — the fault plan never lets some envelope through"
+        )
 
     def _route_arrivals(self, node: SiteNode, fresh: list[EPC], boundary: int) -> None:
         if not fresh:
@@ -154,11 +217,99 @@ class Cluster:
         if self.strategy != "collapsed":
             return
         for src, tags in sorted(by_source.items()):
-            self.transport.send(
+            node.send(
                 Envelope(site, src, MIGRATE_REQUEST, encode_tag_list(tags), boundary)
             )
             if self.migration_listener is not None:
                 self.migration_listener(src, site, tags, boundary)
+
+    # -- crash/recover scheduling -------------------------------------------
+
+    def crash(self, site: int, time: int) -> None:
+        """Schedule ``site`` to crash at stream time ``time``.
+
+        The crash takes effect at the next boundary whose interval
+        contains ``time``: the node loses *all* volatile state (service,
+        query automata, arrival/delivery cursors), exactly as a process
+        restart would. Pair it with :meth:`recover` inside the same
+        interval so the site is back before its next tick.
+        """
+        self._schedule_fault(site, time, "crash")
+
+    def recover(self, site: int, time: int) -> None:
+        """Schedule ``site`` to restart from its last checkpoint at ``time``."""
+        self._schedule_fault(site, time, "recover")
+
+    def _schedule_fault(self, site: int, time: int, op: str) -> None:
+        if site not in {node.site for node in self.nodes}:
+            raise ValueError(f"unknown site {site}")
+        if time <= self.last_boundary:
+            raise ValueError(
+                f"cannot schedule {op} at t={time}: boundary {self.last_boundary} "
+                "already processed"
+            )
+        self._fault_events.append((time, len(self._fault_events), op, site))
+        self._fault_events.sort()
+        if self.last_boundary and not self._checkpoints:
+            # Faults scheduled mid-session: state only mutates inside
+            # run(), so the nodes still hold exactly their state at
+            # last_boundary — capture it now or a recovery landing in
+            # the very next interval would have nothing to restore.
+            self.checkpoint_all()
+
+    def _apply_fault_events(self, boundary: int) -> None:
+        by_site = {node.site: node for node in self.nodes}
+        while (
+            self._fault_cursor < len(self._fault_events)
+            and self._fault_events[self._fault_cursor][0] <= boundary
+        ):
+            _, _, op, site = self._fault_events[self._fault_cursor]
+            self._fault_cursor += 1
+            node = by_site[site]
+            if op == "crash":
+                if site in self._down:
+                    raise RuntimeError(f"site {site} is already down")
+                node.reset(self._fresh_queries(site))
+                self._down.add(site)
+            else:
+                if site not in self._down:
+                    raise RuntimeError(f"site {site} is not down; cannot recover")
+                checkpoint = self._checkpoints.get(site)
+                if checkpoint is not None:
+                    node.restore(checkpoint)
+                elif self.last_boundary:
+                    # Recovering without a checkpoint is only sound
+                    # before the first boundary (initial state *is* the
+                    # time-zero state); afterwards it would silently
+                    # resume with amnesia and corrupt results.
+                    raise RuntimeError(
+                        f"no checkpoint to recover site {site} from at "
+                        f"boundary {boundary}"
+                    )
+                self._down.discard(site)
+        if self._down:
+            raise RuntimeError(
+                f"sites {sorted(self._down)} are still down at boundary {boundary}; "
+                "schedule recover() within the same interval as the crash"
+            )
+
+    def _fresh_queries(self, site: int) -> dict[str, Any]:
+        return {name: factory(site) for name, factory in self._query_factories.items()}
+
+    def checkpoint_all(self) -> dict[int, bytes]:
+        """Checkpoint every site's full state; returns the snapshots.
+
+        Taken automatically at each interval boundary once any crash or
+        recovery is scheduled, so :meth:`recover` always restores from
+        the most recent boundary.
+        """
+        for node in self.nodes:
+            self._checkpoints[node.site] = node.snapshot()
+        return dict(self._checkpoints)
+
+    def fault_overhead_bytes(self) -> int:
+        """Bytes spent on retransmits + acks (0 on reliable transports)."""
+        return self.network.fault_overhead_bytes()
 
     def _snapshot(self, time: int) -> ClusterSnapshot:
         services = {node.site: node.service for node in self.nodes}

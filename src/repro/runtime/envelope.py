@@ -11,20 +11,29 @@ four message families of the paper's federation:
 * ``inference-state`` — collapsed co-location weights (§4.1), shipped
   either per object or as a centroid-compressed batch (§4.2);
 * ``query-state`` — per-object pattern-automaton state (Appendix B),
-  grouped by query and centroid-compressed the same way.
+  grouped by query and centroid-compressed the same way;
+* ``ack`` — at-least-once delivery acknowledgements (fault tolerance).
 
 Batched payloads reuse :func:`repro.distributed.sharing.centroid_compress`
 so one bundle per ``(src, dst)`` pair replaces a message per object.
+
+Every decoder below raises :class:`ValueError` on malformed input —
+truncated varints, short float fields, out-of-range tag kinds, corrupt
+diff opcodes — never a bare decoder error (``EOFError``,
+``struct.error``, ``IndexError``): a corrupt or adversarial payload
+must not leak codec internals into the runtime.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Callable, NamedTuple, TypeVar
 
 from repro._util.encoding import ByteReader, ByteWriter
+from repro.distributed.network import ACK, RETRANSMIT
 from repro.distributed.sharing import SharedStateBundle, centroid_compress
-from repro.sim.tags import EPC, TagKind
+from repro.sim.tags import EPC, read_epc, write_epc
 
 __all__ = [
     "Envelope",
@@ -34,6 +43,8 @@ __all__ = [
     "QUERY_STATE",
     "ONS_LOOKUP",
     "ONS_UPDATE",
+    "ACK",
+    "RETRANSMIT",
     "encode_tag_list",
     "decode_tag_list",
     "encode_state_bundle",
@@ -42,6 +53,8 @@ __all__ = [
     "decode_query_bundle",
     "encode_single_query_state",
     "decode_single_query_state",
+    "encode_ack",
+    "decode_ack",
 ]
 
 #: message kinds (the transport ledger aggregates bytes per kind).
@@ -62,9 +75,28 @@ class Envelope:
     payload: bytes
     #: stream time at which the message was produced (interval boundary).
     time: int = 0
+    #: per-``(src, dst)`` link sequence number stamped by the sending
+    #: node (1-based; 0 = unsequenced control traffic). The receiving
+    #: node dedups on it, so at-least-once delivery applies each
+    #: envelope's effects exactly once. An ``ack`` envelope carries the
+    #: acknowledged data sequence number here.
+    seq: int = 0
 
     def __len__(self) -> int:
         return len(self.payload)
+
+
+T = TypeVar("T")
+
+
+def _decoded(label: str, decode: Callable[[], T]) -> T:
+    """Run ``decode``, converting raw codec errors to :class:`ValueError`."""
+    try:
+        return decode()
+    except ValueError:
+        raise
+    except (EOFError, struct.error, IndexError, OverflowError) as exc:
+        raise ValueError(f"malformed {label}: {exc}") from exc
 
 
 class MigrationEvent(NamedTuple):
@@ -85,14 +117,6 @@ class MigrationEvent(NamedTuple):
     bytes_sent: int
 
 
-def _write_epc(writer: ByteWriter, tag: EPC) -> None:
-    writer.varint(int(tag.kind)).varint(tag.serial)
-
-
-def _read_epc(reader: ByteReader) -> EPC:
-    return EPC(TagKind(reader.varint()), reader.varint())
-
-
 # -- tag lists (migrate-request) -----------------------------------------
 
 
@@ -100,13 +124,16 @@ def encode_tag_list(tags: list[EPC]) -> bytes:
     writer = ByteWriter()
     writer.varint(len(tags))
     for tag in tags:
-        _write_epc(writer, tag)
+        write_epc(writer, tag)
     return writer.getvalue()
 
 
 def decode_tag_list(data: bytes) -> list[EPC]:
-    reader = ByteReader(data)
-    return [_read_epc(reader) for _ in range(reader.varint())]
+    def _decode() -> list[EPC]:
+        reader = ByteReader(data)
+        return [read_epc(reader) for _ in range(reader.varint())]
+
+    return _decoded("tag list", _decode)
 
 
 # -- batched state bundles (inference-state / query-state) ----------------
@@ -119,7 +146,9 @@ def encode_state_bundle(states: dict[EPC, bytes]) -> bytes:
 
 def decode_state_bundle(data: bytes) -> dict[EPC, bytes]:
     """Losslessly recover every object's state from a bundle."""
-    return SharedStateBundle.from_bytes(data).reconstruct()
+    return _decoded(
+        "state bundle", lambda: SharedStateBundle.from_bytes(data).reconstruct()
+    )
 
 
 def encode_query_bundle(per_query: dict[str, dict[EPC, bytes]]) -> bytes:
@@ -139,12 +168,15 @@ def encode_query_bundle(per_query: dict[str, dict[EPC, bytes]]) -> bytes:
 
 
 def decode_query_bundle(data: bytes) -> dict[str, dict[EPC, bytes]]:
-    reader = ByteReader(data)
-    out: dict[str, dict[EPC, bytes]] = {}
-    for _ in range(reader.varint()):
-        name = reader.text()
-        out[name] = decode_state_bundle(reader.blob())
-    return out
+    def _decode() -> dict[str, dict[EPC, bytes]]:
+        reader = ByteReader(data)
+        out: dict[str, dict[EPC, bytes]] = {}
+        for _ in range(reader.varint()):
+            name = reader.text()
+            out[name] = decode_state_bundle(reader.blob())
+        return out
+
+    return _decoded("query bundle", _decode)
 
 
 # -- per-object query state (the unbatched baseline) ----------------------
@@ -153,13 +185,36 @@ def decode_query_bundle(data: bytes) -> dict[str, dict[EPC, bytes]]:
 def encode_single_query_state(name: str, tag: EPC, state: bytes) -> bytes:
     writer = ByteWriter()
     writer.text(name)
-    _write_epc(writer, tag)
+    write_epc(writer, tag)
     writer.blob(state)
     return writer.getvalue()
 
 
 def decode_single_query_state(data: bytes) -> tuple[str, EPC, bytes]:
-    reader = ByteReader(data)
-    name = reader.text()
-    tag = _read_epc(reader)
-    return name, tag, reader.blob()
+    def _decode() -> tuple[str, EPC, bytes]:
+        reader = ByteReader(data)
+        name = reader.text()
+        tag = read_epc(reader)
+        return name, tag, reader.blob()
+
+    return _decoded("single query state", _decode)
+
+
+# -- delivery acknowledgements (at-least-once layer) -----------------------
+
+
+def encode_ack(seq: int) -> bytes:
+    """Acknowledge one per-link data sequence number."""
+    if seq < 1:
+        raise ValueError("only sequenced envelopes (seq >= 1) are acked")
+    return ByteWriter().varint(seq).getvalue()
+
+
+def decode_ack(data: bytes) -> int:
+    def _decode() -> int:
+        seq = ByteReader(data).varint()
+        if seq < 1:
+            raise ValueError(f"ack names invalid sequence number {seq}")
+        return seq
+
+    return _decoded("ack", _decode)

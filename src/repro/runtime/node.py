@@ -12,25 +12,46 @@ cluster onto this site's execution context) and :meth:`poll_arrivals`
 Under :class:`~repro.runtime.transport.ThreadedTransport` every handler
 and tick runs on this node's own worker thread, so node state is
 single-writer without locks.
+
+**At-least-once delivery.** Every data envelope a node sends carries a
+per-``(src, dst)`` link sequence number; the receiver dedups on it, so
+replaying a ``migrate-request`` / ``inference-state`` / ``query-state``
+envelope is idempotent on any transport. When the bound transport is
+*unreliable* (``transport.reliable`` is ``False``) the node additionally
+keeps an unacked outbox and acknowledges every delivered data envelope;
+the cluster retransmits unacked envelopes at each barrier until the
+outbox drains. The result: a lossy, duplicating, reordering network
+yields bit-identical inference and query results — only the ledger's
+``retransmit``/``ack`` overhead kinds differ.
+
+**Crash recovery.** :meth:`snapshot` serializes everything a site needs
+to resume exactly where it was — inference state, per-object query
+automaton state, arrival/sensor cursors, and delivery cursors — and
+:meth:`restore` rebuilds the node from it (see
+:mod:`repro.runtime.checkpoint` for the wire format).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from dataclasses import replace
+from typing import Any, Iterable, Mapping
 
 from repro.core.collapsed import CollapsedState
 from repro.core.events import ObjectEvent
 from repro.core.service import ServiceConfig, StreamingInference
 from repro.runtime.envelope import (
+    ACK,
     INFERENCE_STATE,
     MIGRATE_REQUEST,
     QUERY_STATE,
     Envelope,
     MigrationEvent,
+    decode_ack,
     decode_query_bundle,
     decode_single_query_state,
     decode_state_bundle,
     decode_tag_list,
+    encode_ack,
     encode_query_bundle,
     encode_single_query_state,
     encode_state_bundle,
@@ -63,6 +84,7 @@ class SiteNode:
     ) -> None:
         self.trace = trace
         self.site = trace.site
+        self.config = config
         self.service = StreamingInference(trace, config)
         self.batch_migrations = batch_migrations
         self.queries: dict[str, Any] = {}
@@ -77,6 +99,17 @@ class SiteNode:
         self._sensors: list[Any] = []
         self._sensor_pos = 0
         self._event_pos = 0
+        # -- at-least-once delivery state (per-link) -----------------------
+        #: next outgoing sequence number per destination site.
+        self._link_tx: dict[int, int] = {}
+        #: sequence numbers already applied, per source site (dedup).
+        self._link_rx: dict[int, set[int]] = {}
+        #: sent-but-unacknowledged envelopes keyed (dst, seq); only
+        #: populated on unreliable transports (reliable ones never lose
+        #: an envelope, so acks would be pure overhead).
+        self._unacked: dict[tuple[int, int], Envelope] = {}
+        #: duplicate deliveries suppressed by the dedup layer.
+        self.duplicates_dropped = 0
 
     # -- wiring ---------------------------------------------------------
 
@@ -84,6 +117,51 @@ class SiteNode:
         """Register this node as the recipient of its site's envelopes."""
         self._transport = transport
         transport.register(self.site, self.handle)
+
+    # -- crash recovery ---------------------------------------------------
+
+    def reset(self, queries: Mapping[str, Any] | None = None) -> None:
+        """Simulate a process restart: drop every piece of volatile state.
+
+        The trace (durable storage), sensor stream, and transport
+        binding survive — a restarted site re-reads those — but the
+        inference service, cursors, and delivery state do not. Pass
+        fresh ``queries`` instances to lose query state too (the
+        cluster rebuilds them from its registered factories); without
+        them the existing instances are kept as-is.
+        """
+        self.service = StreamingInference(self.trace, self.config)
+        if queries is not None:
+            self.queries.clear()
+            self.queries.update(queries)
+        self.seen = set()
+        self.migrations_in = []
+        self._pending_handoffs = []
+        self._sensor_pos = 0
+        self._event_pos = 0
+        self._link_tx = {}
+        self._link_rx = {}
+        self._unacked = {}
+        self.duplicates_dropped = 0
+
+    def snapshot(self) -> bytes:
+        """Serialize this site's full volatile state (see
+        :mod:`repro.runtime.checkpoint` for the format)."""
+        from repro.runtime.checkpoint import encode_site_checkpoint
+
+        return encode_site_checkpoint(self)
+
+    def restore(self, data: bytes) -> None:
+        """Rebuild state from a :meth:`snapshot` taken at a boundary.
+
+        Resets first (without touching query instances), then
+        repopulates the service, cursors, delivery state, and each
+        registered query from the checkpoint.
+        """
+        from repro.runtime.checkpoint import restore_site_checkpoint
+
+        self.reset()
+        restore_site_checkpoint(self, data)
 
     def add_query(self, name: str, query: Any) -> None:
         """Register a continuous query (its state migrates if it exposes
@@ -131,7 +209,29 @@ class SiteNode:
     # -- message handling ---------------------------------------------------
 
     def handle(self, env: Envelope) -> None:
-        """React to one delivered envelope."""
+        """React to one delivered envelope.
+
+        Sequenced envelopes pass the at-least-once layer first: an
+        ``ack`` retires its outbox entry, and a data sequence number
+        already applied is dropped (and re-acked — the original ack may
+        have been lost), so duplicated delivery never double-applies
+        inference state or re-fires query alerts.
+        """
+        if env.kind == ACK:
+            self._unacked.pop((env.src, decode_ack(env.payload)), None)
+            return
+        if env.seq:
+            seen = self._link_rx.setdefault(env.src, set())
+            if env.seq in seen:
+                self.duplicates_dropped += 1
+                self._ack(env)
+                return
+            seen.add(env.seq)
+        self._dispatch(env)
+        if env.seq:
+            self._ack(env)
+
+    def _dispatch(self, env: Envelope) -> None:
         if env.kind == MIGRATE_REQUEST:
             self._serve_migration(env.src, decode_tag_list(env.payload), env.time)
         elif env.kind == INFERENCE_STATE:
@@ -141,10 +241,54 @@ class SiteNode:
         else:
             raise ValueError(f"site {self.site}: unknown message kind {env.kind!r}")
 
-    def _send(self, env: Envelope) -> None:
+    def _ack(self, env: Envelope) -> None:
+        """Acknowledge a delivered data envelope (lossy transports only)."""
+        transport = self._require_transport()
+        if transport.reliable:
+            return
+        transport.send(
+            Envelope(
+                self.site, env.src, ACK, encode_ack(env.seq), env.time, seq=env.seq
+            )
+        )
+
+    def _require_transport(self) -> Transport:
         if self._transport is None:
             raise RuntimeError(f"site {self.site} is not bound to a transport")
-        self._transport.send(env)
+        return self._transport
+
+    def _send(self, env: Envelope) -> None:
+        """Stamp the next per-link sequence number and transmit.
+
+        On an unreliable transport the stamped envelope is also parked
+        in the unacked outbox; the cluster's barrier retransmits it
+        until the destination's ack arrives.
+        """
+        transport = self._require_transport()
+        seq = self._link_tx.get(env.dst, 0) + 1
+        self._link_tx[env.dst] = seq
+        env = replace(env, seq=seq)
+        if not transport.reliable:
+            self._unacked[(env.dst, seq)] = env
+        transport.send(env)
+
+    def send(self, env: Envelope) -> None:
+        """Send one data envelope originating at this site (sequenced)."""
+        if env.src != self.site:
+            raise ValueError(f"site {self.site} cannot send as site {env.src}")
+        self._send(env)
+
+    def unacked_envelopes(self) -> list[Envelope]:
+        """Sent-but-unacked envelopes, in deterministic (dst, seq) order."""
+        return [self._unacked[key] for key in sorted(self._unacked)]
+
+    def retransmit_unacked(self) -> int:
+        """Re-send every unacked envelope; returns how many were re-sent."""
+        pending = self.unacked_envelopes()
+        transport = self._require_transport()
+        for env in pending:
+            transport.send(env)
+        return len(pending)
 
     def _serve_migration(self, requester: int, tags: list[EPC], time: int) -> None:
         """Ship inference state now; owe query state after the next tick.

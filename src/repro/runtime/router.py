@@ -75,3 +75,35 @@ class QueryRouter:
                 if self.apply(name, tag, per_query[name][tag]):
                     applied += 1
         return applied
+
+    # -- whole-site checkpoints (crash recovery) ---------------------------
+
+    def snapshot_queries(self) -> dict[str, bytes]:
+        """Serialize every registered query's full state.
+
+        Unlike migration (which is best-effort per object), a
+        checkpoint must be complete: a registered query without
+        ``snapshot_state``/``restore_state`` hooks would silently lose
+        its alerts and partial matches on recovery, so it is an error.
+        """
+        out: dict[str, bytes] = {}
+        for name in sorted(self.queries):
+            snapshot = getattr(self.queries[name], "snapshot_state", None)
+            if snapshot is None:
+                raise ValueError(
+                    f"query {name!r} has no snapshot_state hook; "
+                    "it cannot survive a site crash"
+                )
+            out[name] = snapshot()
+        return out
+
+    def restore_queries(self, blobs: dict[str, bytes]) -> None:
+        """Route checkpointed state back into fresh query instances."""
+        for name in sorted(blobs):
+            query = self.queries.get(name)
+            if query is None:
+                raise ValueError(f"checkpoint names unregistered query {name!r}")
+            restorer = getattr(query, "restore_state", None)
+            if restorer is None:
+                raise ValueError(f"query {name!r} has no restore_state hook")
+            restorer(blobs[name])

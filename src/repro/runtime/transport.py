@@ -15,6 +15,12 @@ which transport runs the cluster.
   only on their own site's worker (actor discipline), which keeps state
   mutation single-writer; combined with the cluster's barrier phases
   this makes the threaded run bit-identical to the in-process one.
+
+Both of the above are *reliable* (every accepted send is delivered
+exactly once, in per-link order). :class:`~repro.runtime.faults.FaultyTransport`
+wraps either one and injects seeded drop/duplicate/delay/reorder faults
+per link; it advertises ``reliable = False``, which switches the
+:class:`~repro.runtime.node.SiteNode` at-least-once layer on.
 """
 
 from __future__ import annotations
@@ -35,6 +41,11 @@ Handler = Callable[[Envelope], None]
 class Transport(ABC):
     """Delivery of envelopes plus per-site work scheduling."""
 
+    #: whether every accepted :meth:`send` is guaranteed to reach its
+    #: handler exactly once. Lossy decorators set this to ``False``,
+    #: which makes nodes keep an unacked outbox and emit acks.
+    reliable: bool = True
+
     def __init__(self, ledger: Network | None = None) -> None:
         self.ledger = ledger if ledger is not None else Network()
 
@@ -48,6 +59,15 @@ class Transport(ABC):
 
         Sends to a destination with no registered handler (e.g. the ONS
         ledger site) are accounted and dropped.
+        """
+
+    @abstractmethod
+    def deliver(self, env: Envelope) -> None:
+        """Hand ``env`` to its destination handler *without* accounting.
+
+        The seam lossy decorators use: they do their own (fault-aware)
+        ledger accounting at send time, then route surviving copies
+        through the wrapped transport's delivery machinery.
         """
 
     @abstractmethod
@@ -83,6 +103,9 @@ class InProcessTransport(Transport):
 
     def send(self, env: Envelope) -> None:
         self.ledger.send(env.src, env.dst, env.kind, env.payload)
+        self.deliver(env)
+
+    def deliver(self, env: Envelope) -> None:
         handler = self._handlers.get(env.dst)
         if handler is not None:
             handler(env)
@@ -134,6 +157,14 @@ class _SiteWorker(threading.Thread):
         return None
 
     def run(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:  # noqa: BLE001 - loop machinery failed
+            # The worker is dead: queued work for this site will never
+            # retire, so poison the barrier instead of hanging it.
+            self.transport._worker_died(self.site, exc)
+
+    def _loop(self) -> None:
         while True:
             with self.cv:
                 item = self._take()
@@ -162,6 +193,13 @@ class ThreadedTransport(Transport):
     the barrier exact: a handler's follow-up sends are counted before
     the handler itself retires, so ``flush`` cannot return while a
     message chain is still in flight.
+
+    The barrier is exception-safe: a handler (or dispatched task) that
+    raises on its worker thread wakes :meth:`flush` *immediately* and
+    the error is re-raised to the caller — even while other queued work
+    is still in flight or blocked, where waiting for full quiescence
+    could hang forever. A worker whose event loop itself dies poisons
+    the barrier permanently for the same reason.
     """
 
     def __init__(self, ledger: Network | None = None) -> None:
@@ -170,6 +208,7 @@ class ThreadedTransport(Transport):
         self._quiet = threading.Condition()
         self._outstanding = 0
         self._errors: list[BaseException] = []
+        self._dead: dict[int, BaseException] = {}
         self._ledger_lock = threading.Lock()
         self._closed = False
 
@@ -188,6 +227,14 @@ class ThreadedTransport(Transport):
     def _record_error(self, exc: BaseException) -> None:
         with self._quiet:
             self._errors.append(exc)
+            # Fail fast: the barrier must not keep waiting on work that
+            # the failure may have stranded.
+            self._quiet.notify_all()
+
+    def _worker_died(self, site: int, exc: BaseException) -> None:
+        with self._quiet:
+            self._dead[site] = exc
+            self._quiet.notify_all()
 
     # -- Transport interface ----------------------------------------------
 
@@ -205,6 +252,11 @@ class ThreadedTransport(Transport):
             raise RuntimeError("transport is closed")
         with self._ledger_lock:
             self.ledger.send(env.src, env.dst, env.kind, env.payload)
+        self.deliver(env)
+
+    def deliver(self, env: Envelope) -> None:
+        if self._closed:
+            raise RuntimeError("transport is closed")
         worker = self._workers.get(env.dst)
         if worker is None:
             return  # accounted control traffic (e.g. ONS) with no node
@@ -222,8 +274,13 @@ class ThreadedTransport(Transport):
 
     def flush(self) -> None:
         with self._quiet:
-            while self._outstanding > 0:
+            while self._outstanding > 0 and not self._errors and not self._dead:
                 self._quiet.wait()
+            if self._dead:
+                site, exc = next(iter(self._dead.items()))
+                raise RuntimeError(
+                    f"site {site}'s worker loop died; transport is poisoned"
+                ) from exc
             if self._errors:
                 errors, self._errors = self._errors, []
                 raise RuntimeError(

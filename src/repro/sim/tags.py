@@ -3,14 +3,33 @@
 Per the EPC tag data standard (and §2 of the paper), a tag id encodes its
 packaging level — pallet, case, or item. Algorithms rely only on that
 level plus uniqueness, so an :class:`EPC` is a ``(kind, serial)`` pair.
+
+This module also owns the tag's *wire codec* — two varints, with kind
+``3`` as the "no tag" sentinel of the optional form — shared by every
+serialized format that names tags (collapsed states, envelopes, shared
+bundles, checkpoints), so the primitive cannot drift between them.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
 
-__all__ = ["TagKind", "EPC"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro._util.encoding import ByteReader, ByteWriter
+
+__all__ = [
+    "TagKind",
+    "EPC",
+    "write_epc",
+    "read_epc",
+    "write_opt_epc",
+    "read_opt_epc",
+]
+
+#: wire sentinel for "no tag" in the optional codec (one past the
+#: highest real :class:`TagKind` value).
+_NONE_KIND = 3
 
 
 class TagKind(enum.IntEnum):
@@ -61,3 +80,32 @@ def case(serial: int) -> EPC:
 def item(serial: int) -> EPC:
     """Shorthand constructor for an item tag."""
     return EPC(TagKind.ITEM, serial)
+
+
+# -- the shared wire codec --------------------------------------------------
+
+
+def write_epc(writer: "ByteWriter", tag: EPC) -> None:
+    """Append ``tag`` as two varints (kind, serial)."""
+    writer.varint(int(tag.kind)).varint(tag.serial)
+
+
+def read_epc(reader: "ByteReader") -> EPC:
+    """Read a required tag; an out-of-range kind raises ValueError."""
+    return EPC(TagKind(reader.varint()), reader.varint())
+
+
+def write_opt_epc(writer: "ByteWriter", tag: EPC | None) -> None:
+    """Append ``tag`` or the one-byte "no tag" sentinel."""
+    if tag is None:
+        writer.varint(_NONE_KIND)
+    else:
+        write_epc(writer, tag)
+
+
+def read_opt_epc(reader: "ByteReader") -> EPC | None:
+    """Inverse of :func:`write_opt_epc`."""
+    kind = reader.varint()
+    if kind == _NONE_KIND:
+        return None
+    return EPC(TagKind(kind), reader.varint())

@@ -5,14 +5,28 @@ The automaton state that migrates with an object is serialized as:
 n_values (varint) | n × float32``. Table 5.4's byte counts are computed
 on this wire format, and the centroid-based sharing of
 :mod:`repro.distributed.sharing` diffs these byte strings.
+
+The *snapshot* codecs at the bottom serve site checkpoints instead of
+migration: they serialize a whole :class:`KleeneDurationPattern` —
+every partition's automaton state plus the fired-alert log — with
+float64 values. Migration deliberately rounds collected values to
+float32 (Table 5.4's byte budget); a checkpoint must not, because a
+restored site has to reproduce bit-identical alert values to the run
+that never crashed.
 """
 
 from __future__ import annotations
 
 from repro._util.encoding import ByteReader, ByteWriter
-from repro.streams.pattern import PatternState
+from repro.sim.tags import EPC, read_epc, write_epc
+from repro.streams.pattern import KleeneDurationPattern, PatternAlert, PatternState
 
-__all__ = ["encode_pattern_state", "decode_pattern_state"]
+__all__ = [
+    "encode_pattern_state",
+    "decode_pattern_state",
+    "snapshot_pattern",
+    "restore_pattern",
+]
 
 
 def encode_pattern_state(state: PatternState) -> bytes:
@@ -47,3 +61,63 @@ def decode_pattern_state(data: bytes) -> PatternState:
     if stage > 2:
         raise ValueError(f"malformed pattern state: stage {stage} out of range")
     return PatternState(stage, start_time, last_time, values)
+
+
+# -- whole-operator snapshots (site checkpoints) ---------------------------
+
+
+def snapshot_pattern(pattern: KleeneDurationPattern) -> bytes:
+    """Serialize every partition's state and the alert log, exactly.
+
+    Partition keys must be :class:`EPC` tags (true for Q1/Q2, which
+    partition by ``tag_id``).
+    """
+    writer = ByteWriter()
+    writer.varint(len(pattern.states))
+    for key in sorted(pattern.states):
+        state = pattern.states[key]
+        write_epc(writer, key)
+        writer.varint(state.stage)
+        writer.varint(state.start_time)
+        writer.varint(state.last_time)
+        writer.varint(len(state.values))
+        for value in state.values:
+            writer.float64(value)
+    writer.varint(len(pattern.alerts))
+    for alert in pattern.alerts:
+        write_epc(writer, alert.key)
+        writer.varint(alert.start_time)
+        writer.varint(alert.end_time)
+        writer.varint(len(alert.values))
+        for value in alert.values:
+            writer.float64(value)
+    return writer.getvalue()
+
+
+def restore_pattern(pattern: KleeneDurationPattern, data: bytes) -> None:
+    """Inverse of :func:`snapshot_pattern` (replaces states and alerts)."""
+    import struct
+
+    reader = ByteReader(data)
+    try:
+        states: dict[EPC, PatternState] = {}
+        for _ in range(reader.varint()):
+            key = read_epc(reader)
+            stage = reader.varint()
+            start_time = reader.varint()
+            last_time = reader.varint()
+            values = [reader.float64() for _ in range(reader.varint())]
+            if stage > 2:
+                raise ValueError(f"stage {stage} out of range")
+            states[key] = PatternState(stage, start_time, last_time, values)
+        alerts: list[PatternAlert] = []
+        for _ in range(reader.varint()):
+            key = read_epc(reader)
+            start_time = reader.varint()
+            end_time = reader.varint()
+            values = tuple(reader.float64() for _ in range(reader.varint()))
+            alerts.append(PatternAlert(key, start_time, end_time, values))
+    except (EOFError, struct.error, IndexError) as exc:
+        raise ValueError(f"malformed pattern snapshot: {exc}") from exc
+    pattern.states = states
+    pattern.alerts = alerts

@@ -1,0 +1,146 @@
+"""Deterministic chaos-harness helpers for the fault-tolerance tests.
+
+The harness's headline invariant: under *any* seeded fault plan —
+drops, duplicates, delays, reordering, and a mid-interval site
+crash+recover — the federation's observable results are bit-identical
+to the fault-free in-process run; only the ledger's ``retransmit`` and
+``ack`` overhead kinds may differ. :func:`run_chaos` executes one run
+and reduces it to a canonical :class:`ChaosResult`;
+:func:`assert_chaos_invariant` compares two of them.
+
+Alert/change orderings are canonicalized (sorted) before comparison:
+reordered delivery may interleave *independent* per-object work within
+a barrier phase differently, which permutes append order into shared
+logs without changing any individual record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.service import ServiceConfig
+from repro.queries.q2 import TemperatureExposureQuery
+from repro.runtime import Cluster, FaultPlan, FaultyTransport, Transport
+from repro.workloads.scenarios import cold_chain_scenario
+
+#: the harness config: events on (queries run) and change detection on
+#: (so the detected-changes invariant is non-vacuous).
+CHAOS_CONFIG = ServiceConfig(
+    run_interval=300,
+    recent_history=600,
+    truncation="cr",
+    emit_events=True,
+    event_period=5,
+    change_detection=True,
+    change_threshold=80.0,
+)
+
+
+def chaos_scenario():
+    """A two-site cold chain whose exposures span a migration."""
+    return cold_chain_scenario(
+        seed=7,
+        n_sites=2,
+        n_freezer_cases=6,
+        n_room_cases=3,
+        items_per_case=6,
+        n_exposures=4,
+        horizon=1500,
+        site_leave_time=700,
+    )
+
+
+@dataclass
+class ChaosResult:
+    """One run, reduced to its observable (comparable) outputs."""
+
+    containment_error: float
+    #: canonical snapshot trajectory: (time, sorted containment, known).
+    snapshots: list
+    #: sorted (tag, start, end, values) query alerts, pooled over sites.
+    alerts: list
+    #: sorted change points pooled over sites.
+    changes: list
+    #: tag-level migration events (already globally ordered).
+    migrations: list
+    #: per-kind ledger bytes excluding retransmit/ack overhead.
+    data_bytes: dict
+    #: per-kind ledger bytes including overhead kinds.
+    all_bytes: dict
+    overhead_bytes: int
+    duplicates_dropped: int
+
+
+def run_chaos(
+    scenario,
+    config: ServiceConfig = CHAOS_CONFIG,
+    transport: Transport | None = None,
+    crash: tuple[int, int, int] | None = None,
+) -> ChaosResult:
+    """Run the federated cold chain once and canonicalize the outcome.
+
+    ``crash`` is ``(site, crash_time, recover_time)`` — both times must
+    fall inside the same inference interval.
+    """
+    with Cluster(scenario.traces, config, transport=transport) as cluster:
+        cluster.add_query(
+            "q2",
+            lambda site: TemperatureExposureQuery(
+                scenario.catalog, exposure_duration=400
+            ),
+        )
+        cluster.set_sensor_streams(
+            {site: scenario.sensor_stream(site) for site in range(len(scenario.traces))}
+        )
+        if crash is not None:
+            site, crash_time, recover_time = crash
+            cluster.crash(site, crash_time)
+            cluster.recover(site, recover_time)
+        cluster.run(scenario.horizon)
+        return ChaosResult(
+            containment_error=cluster.containment_error(scenario.truth),
+            snapshots=[
+                (snap.time, sorted(snap.containment.items()), sorted(snap.known))
+                for snap in cluster.snapshots
+            ],
+            alerts=sorted(
+                (str(alert.key), alert.start_time, alert.end_time, alert.values)
+                for node in cluster.nodes
+                for alert in node.queries["q2"].alerts
+            ),
+            changes=sorted(
+                cluster.detected_changes(),
+                key=lambda c: (c.tag, c.time, str(c.old_container), str(c.new_container)),
+            ),
+            migrations=cluster.migrations,
+            data_bytes=cluster.network.data_bytes_by_kind(),
+            all_bytes=dict(cluster.network.bytes_by_kind),
+            overhead_bytes=cluster.network.fault_overhead_bytes(),
+            duplicates_dropped=sum(n.duplicates_dropped for n in cluster.nodes),
+        )
+
+
+def chaos_plan(seed: int) -> FaultPlan:
+    """The default all-faults-on-every-link plan used by the matrix."""
+    return FaultPlan.chaos(seed, drop=0.25, duplicate=0.2, delay=0.25, max_delay=3)
+
+
+def chaos_transport(seed: int) -> FaultyTransport:
+    return FaultyTransport(chaos_plan(seed))
+
+
+def assert_chaos_invariant(
+    baseline: ChaosResult, chaotic: ChaosResult, expect_overhead: bool = True
+) -> None:
+    """Bit-identical results; only fault-overhead ledger bytes differ."""
+    assert chaotic.containment_error == baseline.containment_error
+    assert chaotic.snapshots == baseline.snapshots
+    assert chaotic.alerts == baseline.alerts
+    assert chaotic.changes == baseline.changes
+    assert chaotic.migrations == baseline.migrations
+    assert chaotic.data_bytes == baseline.data_bytes
+    if expect_overhead:
+        assert chaotic.overhead_bytes > 0
+        assert chaotic.all_bytes != baseline.all_bytes
+    else:
+        assert chaotic.overhead_bytes == 0

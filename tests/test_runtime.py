@@ -129,6 +129,39 @@ class TestThreadedTransport:
             with pytest.raises(RuntimeError):
                 transport.flush()
 
+    def test_flush_raises_instead_of_hanging_on_failed_handler(self):
+        """Regression: a handler that raises on a worker thread must
+        propagate at flush() even while *other* queued work is still in
+        flight — the old barrier waited for full quiescence first, so a
+        failure alongside a stuck handler hung it forever."""
+        import threading
+
+        release = threading.Event()
+        with ThreadedTransport() as transport:
+            transport.register(1, lambda env: release.wait(timeout=30))
+            def boom(env):
+                raise RuntimeError("kaboom")
+
+            transport.register(2, boom)
+            transport.send(Envelope(0, 1, "x", b""))  # occupies site 1's worker
+            transport.send(Envelope(0, 2, "x", b""))  # fails on site 2's worker
+            outcome: dict[str, BaseException] = {}
+
+            def call_flush():
+                try:
+                    transport.flush()
+                except RuntimeError as exc:
+                    outcome["error"] = exc
+
+            flusher = threading.Thread(target=call_flush)
+            flusher.start()
+            flusher.join(timeout=5.0)
+            hung = flusher.is_alive()
+            release.set()  # unblock site 1 before closing either way
+            assert not hung, "flush() hung on a failed handler"
+            assert "error" in outcome
+            assert "kaboom" in repr(outcome["error"].__cause__)
+
     def test_dispatch_runs_on_worker(self):
         import threading
 
