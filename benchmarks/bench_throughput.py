@@ -1,0 +1,246 @@
+"""Stream-speed throughput bench — the repo's perf trajectory anchor.
+
+Sweeps item counts through the single-site periodic inference service
+(critical-region truncation, events on — the §5.1 configuration) and
+records, per configuration:
+
+* **epochs/sec** — stream epochs divided by total inference seconds;
+* **per-run latency** p50/p95 and the per-phase breakdown
+  (window build / E-step / M-step / evidence / change detection /
+  critical regions / events) from ``RunRecord.phase_seconds``;
+* **peak RSS** of the process.
+
+Results land in ``BENCH_throughput.json`` at the repo root; the checked
+in copy is the committed baseline CI gates against. Because absolute
+seconds differ across machines, every run also measures a fixed numpy
+``calibration_seconds`` workload and the gate compares *normalized*
+latency (p50 / calibration) with a regression budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py              # full sweep
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke \\
+        --output BENCH_throughput.ci.json \\
+        --baseline BENCH_throughput.json --max-regression 0.25       # CI gate
+
+or through pytest (``python -m pytest benchmarks/bench_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _common import emit_table  # noqa: E402
+
+from repro.core.service import ServiceConfig, StreamingInference  # noqa: E402
+from repro.sim.supplychain import SupplyChainParams, simulate  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_throughput.json")
+
+#: (items/case, cases/pallet) — the first entry is the smoke subset.
+ITEM_COUNTS = [(6, 5), (12, 5), (20, 6)]
+HORIZON = 1500
+PHASES = ["window", "e_step", "m_step", "evidence", "changes", "cr", "events"]
+
+
+def calibration_seconds() -> float:
+    """A fixed numpy workload, timed — the hardware normalizer.
+
+    Regression gates compare ``latency / calibration`` so a slower CI
+    runner does not read as a regression and a faster one cannot hide
+    a real one.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.random((400, 400))
+    started = time.perf_counter()
+    for _ in range(20):
+        a = 0.5 * (a @ a) / np.linalg.norm(a)
+    return time.perf_counter() - started
+
+
+def peak_rss_bytes() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def run_sweep(smoke: bool = False) -> list[dict]:
+    points: list[dict] = []
+    counts = ITEM_COUNTS[:1] if smoke else ITEM_COUNTS
+    for items_per_case, cases in counts:
+        result = simulate(
+            SupplyChainParams(
+                horizon=HORIZON,
+                items_per_case=items_per_case,
+                cases_per_pallet=cases,
+                injection_period=200,
+                main_read_rate=0.8,
+                n_shelves=16,
+                seed=52,
+            )
+        )
+        service = StreamingInference(
+            result.trace,
+            ServiceConfig(
+                run_interval=300,
+                recent_history=600,
+                truncation="cr",
+                emit_events=True,
+                event_period=5,
+            ),
+        )
+        service.run_until(HORIZON)
+        latencies = np.asarray(
+            [r.duration_seconds for r in service.runs if r.window_rows > 0]
+        )
+        phase_totals = {phase: 0.0 for phase in PHASES}
+        for record in service.runs:
+            for phase, seconds in record.phase_seconds.items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+        points.append(
+            {
+                "label": f"{len(result.truth.items())}-items-static",
+                "n_items": len(result.truth.items()),
+                "n_readings": len(result.trace),
+                "stream_epochs": HORIZON,
+                "runs": int(latencies.size),
+                "epochs_per_sec": HORIZON / max(service.total_inference_seconds, 1e-12),
+                "latency_p50_seconds": float(np.percentile(latencies, 50)),
+                "latency_p95_seconds": float(np.percentile(latencies, 95)),
+                "total_inference_seconds": service.total_inference_seconds,
+                "phase_seconds": {k: round(v, 6) for k, v in phase_totals.items()},
+                "events_emitted": len(service.events),
+                "base_rows_reused": service._windows.rows_reused,
+                "base_rows_built": service._windows.rows_built,
+            }
+        )
+    return points
+
+
+def build_payload(smoke: bool) -> dict:
+    calibration = calibration_seconds()
+    points = run_sweep(smoke)
+    return {
+        "schema_version": 1,
+        "bench": "throughput",
+        "smoke": smoke,
+        "calibration_seconds": calibration,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "points": points,
+    }
+
+
+def check_regression(payload: dict, baseline_path: str, budget: float) -> list[str]:
+    """Normalized-latency comparison against the committed baseline.
+
+    Returns a list of failure messages (empty = within budget).
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base_calibration = baseline["calibration_seconds"]
+    base_points = {point["label"]: point for point in baseline["points"]}
+    failures: list[str] = []
+    for point in payload["points"]:
+        base = base_points.get(point["label"])
+        if base is None:
+            # A renamed/added config with no baseline point must not
+            # silently disable the gate — regenerate the baseline.
+            failures.append(
+                f"{point['label']}: no matching point in {baseline_path}; "
+                "regenerate the committed baseline"
+            )
+            continue
+        fresh_norm = point["latency_p50_seconds"] / payload["calibration_seconds"]
+        base_norm = base["latency_p50_seconds"] / base_calibration
+        ratio = fresh_norm / base_norm
+        if ratio > 1.0 + budget:
+            failures.append(
+                f"{point['label']}: normalized p50 latency {ratio:.2f}x baseline "
+                f"(budget {1.0 + budget:.2f}x)"
+            )
+    return failures
+
+
+def emit(payload: dict) -> None:
+    rows = [
+        [
+            point["label"],
+            point["n_readings"],
+            f"{point['epochs_per_sec']:.0f}",
+            f"{point['latency_p50_seconds'] * 1000:.1f}ms",
+            f"{point['latency_p95_seconds'] * 1000:.1f}ms",
+            f"{payload['peak_rss_bytes'] / 1e6:.0f}MB",
+        ]
+        for point in payload["points"]
+    ]
+    emit_table(
+        "Throughput (stream epochs per inference second)",
+        ["config", "readings", "epochs/s", "p50/run", "p95/run", "peak RSS"],
+        rows,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="first sweep point only")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--baseline", help="baseline JSON to gate against")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed normalized-latency growth (0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+    payload = build_payload(args.smoke)
+    emit(payload)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    if args.baseline:
+        failures = check_regression(payload, args.baseline, args.max_regression)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: within budget")
+    return 0
+
+
+def test_throughput(benchmark):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    payload = benchmark.pedantic(lambda: build_payload(smoke), rounds=1, iterations=1)
+    emit(payload)
+    # The pytest path writes next to the other bench artifacts; only the
+    # standalone CLI (or an explicit override) touches the repo-root
+    # baseline, so a smoke run cannot clobber the committed trajectory.
+    default = os.path.join(os.path.dirname(__file__), "results", "BENCH_throughput.json")
+    os.makedirs(os.path.dirname(default), exist_ok=True)
+    output = os.environ.get("BENCH_THROUGHPUT_OUT", default)
+    with open(output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    # Shape: per-run latency must stay within a hardware-normalized
+    # budget (p50 divided by the fixed numpy calibration workload —
+    # ~1.2x at the time of writing, so 15x headroom catches an
+    # order-of-magnitude regression on any runner).
+    for point in payload["points"]:
+        normalized = point["latency_p50_seconds"] / payload["calibration_seconds"]
+        assert normalized < 15.0, (
+            f"{point['label']}: normalized p50 latency {normalized:.1f}x "
+            "the calibration workload"
+        )
+    # The window cache must actually be reusing rows under CR truncation.
+    assert payload["points"][0]["base_rows_reused"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -88,9 +88,10 @@ class SmurfSmoother:
         horizon = self.trace.horizon
         locations = np.full(horizon, -1, dtype=np.int64)
         window_sizes = np.full(horizon, config.min_window, dtype=np.int64)
-        readings = self.trace.tag_readings(tag)
-        if not readings:
+        tag_times, tag_readers = self.trace.tag_readings(tag)
+        if tag_times.size == 0:
             return SmurfTagEstimate(tag, locations, window_sizes, 0.0)
+        readings = list(zip(tag_times.tolist(), tag_readers.tolist()))
 
         window: deque[tuple[int, int]] = deque()
         pointer = 0

@@ -82,7 +82,8 @@ class SmurfStar:
         """Index of case readings by (epoch, reader)."""
         buckets: dict[tuple[int, int], list[EPC]] = {}
         for case in self.trace.tags(TagKind.CASE):
-            for epoch, reader in self.trace.tag_readings(case):
+            times, readers = self.trace.tag_readings(case)
+            for epoch, reader in zip(times.tolist(), readers.tolist()):
                 buckets.setdefault((epoch, reader), []).append(case)
         return buckets
 
@@ -97,7 +98,8 @@ class SmurfStar:
         period that separates cases sharing a shelf.
         """
         hits: dict[EPC, list[int]] = {}
-        for epoch, reader in self.trace.tag_readings(item):
+        times, readers = self.trace.tag_readings(item)
+        for epoch, reader in zip(times.tolist(), readers.tolist()):
             for case in buckets.get((epoch, reader), ()):
                 hits.setdefault(case, []).append(epoch)
         return {case: np.asarray(sorted(set(es))) for case, es in hits.items()}

@@ -23,10 +23,14 @@
 from repro.core.changepoint import ChangePointDetector, calibrate_threshold
 from repro.core.collapsed import CollapsedState
 from repro.core.events import ObjectEvent
-from repro.core.likelihood import TraceWindow
+from repro.core.likelihood import TraceWindow, WindowCache
 from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
 from repro.core.service import ServiceConfig, StreamingInference
-from repro.core.truncation import CriticalRegion, find_critical_region
+from repro.core.truncation import (
+    CriticalRegion,
+    find_critical_region,
+    find_critical_regions,
+)
 
 __all__ = [
     "ChangePointDetector",
@@ -39,6 +43,8 @@ __all__ = [
     "ServiceConfig",
     "StreamingInference",
     "TraceWindow",
+    "WindowCache",
     "calibrate_threshold",
     "find_critical_region",
+    "find_critical_regions",
 ]

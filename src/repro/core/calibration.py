@@ -84,6 +84,9 @@ def calibrate_threshold_from_deployment(
                 truncation="cr",
                 change_detection=False,
                 emit_events=False,
+                # This consumer re-derives Δ statistics from retained
+                # runs, so it opts back into keeping evidence payloads.
+                retain_evidence=True,
                 inference=InferenceConfig(keep_evidence=True),
             ),
         )

@@ -13,8 +13,10 @@ only, which removes the factor ``C`` from the M-step complexity.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.sim.tags import EPC, TagKind
 from repro.core.likelihood import TraceWindow
@@ -30,37 +32,64 @@ def colocation_counts(
     """Count per (object, container) the epochs in which they were
     co-read by the same reader.
 
-    Returns ``{object: Counter({container: count})}``. Cost is linear in
-    the number of readings (bucketed by (epoch-row, reader)).
+    Returns ``{object: Counter({container: count})}``. The join runs as
+    a sorted-merge over packed ``(row, reader)`` keys — two gathers and
+    one ``np.unique`` — instead of Python-level bucket dictionaries.
+    Counters list containers in ``containers`` order, so equal counts
+    tie-break deterministically by tag order in ``most_common``.
     """
     if objects is None:
         objects = window.tags(TagKind.ITEM)
     if containers is None:
         containers = window.tags(TagKind.CASE)
-    object_set = set(objects)
-    container_set = set(containers)
-
-    buckets_objects: dict[tuple[int, int], list[EPC]] = defaultdict(list)
-    buckets_containers: dict[tuple[int, int], list[EPC]] = defaultdict(list)
-    for tag, (rows, readers) in window.readings.items():
-        if tag in object_set:
-            target = buckets_objects
-        elif tag in container_set:
-            target = buckets_containers
-        else:
-            continue
-        for row, reader in zip(rows.tolist(), readers.tolist()):
-            target[(row, reader)].append(tag)
-
     counts: dict[EPC, Counter] = {obj: Counter() for obj in objects}
-    for key, objs in buckets_objects.items():
-        cons = buckets_containers.get(key)
-        if not cons:
-            continue
-        for obj in objs:
-            counter = counts[obj]
-            for con in cons:
-                counter[con] += 1
+
+    stride = window.n_locations
+    def packed(tags: Sequence[EPC]) -> tuple[np.ndarray, np.ndarray]:
+        keys: list[np.ndarray] = []
+        tag_idx: list[int] = []
+        lengths: list[int] = []
+        for idx, tag in enumerate(tags):
+            rows, readers = window.tag_rows(tag)
+            if rows.size:
+                keys.append(rows * stride + readers)
+                tag_idx.append(idx)
+                lengths.append(rows.size)
+        if not keys:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        ids = np.repeat(
+            np.asarray(tag_idx, dtype=np.int64), np.asarray(lengths, dtype=np.int64)
+        )
+        return np.concatenate(keys), ids
+
+    obj_keys, obj_ids = packed(objects)
+    con_keys, con_ids = packed(containers)
+    if obj_keys.size == 0 or con_keys.size == 0:
+        return counts
+
+    order = np.argsort(con_keys, kind="stable")
+    con_keys_sorted = con_keys[order]
+    con_ids_sorted = con_ids[order]
+    starts = np.searchsorted(con_keys_sorted, obj_keys, side="left")
+    ends = np.searchsorted(con_keys_sorted, obj_keys, side="right")
+    lengths = ends - starts
+    hit = lengths > 0
+    if not hit.any():
+        return counts
+    starts, lengths = starts[hit], lengths[hit]
+    total = int(lengths.sum())
+    offsets = np.cumsum(lengths) - lengths
+    # Expand each object reading's matching container-reading range.
+    flat = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+    pair_obj = np.repeat(obj_ids[hit], lengths)
+    pair_con = con_ids_sorted[flat]
+    codes, pair_counts = np.unique(
+        pair_obj * len(containers) + pair_con, return_counts=True
+    )
+    n_con = len(containers)
+    for code, count in zip(codes.tolist(), pair_counts.tolist()):
+        counts[objects[code // n_con]][containers[code % n_con]] += count
     return counts
 
 

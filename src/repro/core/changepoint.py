@@ -237,7 +237,7 @@ def calibrate_threshold(
     for sample in range(n_samples):
         world = _null_journey(layout, length, n_distractors, rng)
         trace = sampler.sample_site(world.truth, 0, layout, model, length)
-        if not trace.tag_readings(obj):
+        if trace.reading_count(obj) == 0:
             continue
         window = TraceWindow.from_range(trace, 0, length)
         result = RFInfer(

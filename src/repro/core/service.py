@@ -24,9 +24,9 @@ import numpy as np
 from repro.core.changepoint import ChangePoint, ChangePointDetector, calibrate_threshold
 from repro.core.collapsed import CollapsedState
 from repro.core.events import ObjectEvent
-from repro.core.likelihood import TraceWindow
+from repro.core.likelihood import WindowCache
 from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
-from repro.core.truncation import CriticalRegion, find_critical_region
+from repro.core.truncation import CriticalRegion, find_critical_regions
 from repro.sim.tags import EPC, TagKind
 from repro.sim.trace import Trace
 
@@ -49,6 +49,12 @@ class ServiceConfig:
     emit_events: bool = True
     event_period: int = 1
     keep_results: bool = True
+    #: keep each retained run's full per-(object, candidate) evidence
+    #: arrays. Off by default: once change points and critical regions
+    #: are extracted the payload only grows without bound (it dominated
+    #: long-run memory); calibration-style consumers that post-process
+    #: evidence opt back in.
+    retain_evidence: bool = False
     calibration_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -74,6 +80,9 @@ class RunRecord:
     window_rows: int
     iterations: int
     result: RFInferResult | None = None
+    #: wall-clock seconds per pipeline phase (window / e_step / m_step /
+    #: evidence / changes / cr / events; the runtime adds queries).
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 class StreamingInference:
@@ -111,6 +120,10 @@ class StreamingInference:
         self.total_inference_seconds = 0.0
         self._threshold = self.config.change_threshold
         self._detector: ChangePointDetector | None = None
+        #: incremental window builder — reuses base-matrix rows shared
+        #: with the previous run's window (bitwise-identical to a cold
+        #: build, so checkpoint-restored sites cannot diverge).
+        self._windows = WindowCache(trace)
 
     # -- migration hooks (used by repro.distributed) ----------------------
 
@@ -222,6 +235,7 @@ class StreamingInference:
         """One inference run at stream time ``now``."""
         config = self.config
         started = _time.perf_counter()
+        phases: dict[str, float] = {}
         epochs = self._window_epochs(now)
         if epochs.size == 0:
             record = RunRecord(now, 0.0, dict(self.containment), [], 0, 0)
@@ -229,7 +243,7 @@ class StreamingInference:
             self.last_run_time = now
             return record
 
-        window = TraceWindow(self.trace, epochs)
+        window = self._windows.window(epochs)
         objects = window.tags(TagKind.ITEM)
         containers = window.tags(TagKind.CASE)
         object_ranges = {
@@ -251,11 +265,14 @@ class StreamingInference:
             prior_weights=self.prior_weights,
             object_ranges=object_ranges,
         )
+        phases["window"] = _time.perf_counter() - started
         result = engine.run()
+        phases.update(result.timings)
         self._seeded_only.difference_update(result.containment)
         for obj, obj_weights in result.weights.items():
             self.last_weights[obj] = dict(obj_weights)
 
+        mark = _time.perf_counter()
         run_changes: list[ChangePoint] = []
         if config.change_detection and config.inference.keep_evidence:
             if self._detector is None or self._detector.threshold != self.threshold:
@@ -269,25 +286,40 @@ class StreamingInference:
                     self.changes.append(change)
                     self.valid_from[obj] = change.time
                     result.containment[obj] = change.new_container
+        phases["changes"] = _time.perf_counter() - mark
 
         self.containment.update(result.containment)
 
+        mark = _time.perf_counter()
         if config.truncation == "cr" and config.inference.keep_evidence:
-            for obj in objects:
-                region = find_critical_region(
+            self.critical_regions.update(
+                find_critical_regions(
                     result,
-                    obj,
+                    objects,
                     width=config.cr_width,
                     margin_threshold=config.cr_margin,
                 )
-                if region is not None:
-                    self.critical_regions[obj] = region
+            )
+        phases["cr"] = _time.perf_counter() - mark
 
+        mark = _time.perf_counter()
         if config.emit_events:
             self._emit_events(result, self.last_run_time, now)
+        phases["events"] = _time.perf_counter() - mark
 
         duration = _time.perf_counter() - started
         self.total_inference_seconds += duration
+        if config.keep_results and not config.retain_evidence:
+            # Change points, critical regions, and events are extracted
+            # above; the per-(object, candidate) evidence arrays and the
+            # memo caches (logZ rows, decoded location paths) would only
+            # accumulate memory across retained runs. Posteriors stay —
+            # post-hoc consumers (location-error metrics,
+            # log_likelihood) recompute from them on demand.
+            result.evidence = None
+            result._logz_cache.clear()
+            result._location_cache.clear()
+            result._solo_cache.clear()
         record = RunRecord(
             time=now,
             duration_seconds=duration,
@@ -296,6 +328,7 @@ class StreamingInference:
             window_rows=window.n_rows,
             iterations=result.iterations,
             result=result if config.keep_results else None,
+            phase_seconds=phases,
         )
         self.runs.append(record)
         self.last_run_time = now
@@ -331,31 +364,61 @@ class StreamingInference:
         keep = (row_epochs - start) % config.event_period == 0
         rows, row_epochs = rows[keep], row_epochs[keep]
         tags = window.tags(TagKind.ITEM) + window.tags(TagKind.CASE)
-        batch: list[ObjectEvent] = []
+        # Per tag: select rows inside the presence span with an on-site
+        # place estimate, entirely in numpy; only the surviving events
+        # materialize as tuples.
+        times_parts: list[np.ndarray] = []
+        places_parts: list[np.ndarray] = []
+        rank_parts: list[np.ndarray] = []
+        emitted: list[tuple[EPC, EPC | None]] = []
+        tag_rank = {tag: i for i, tag in enumerate(sorted(tags))}
+        # Resolve presence spans first so the batched Viterbi decode
+        # only covers tags that can actually emit events this run.
+        candidates: list[tuple[EPC, EPC | None, np.ndarray]] = []
         for tag in tags:
             container = result.containment.get(tag)
             span = self._presence_span(tag, container, now)
             if span is None:
                 continue
-            locations = result.location_rows(tag)
             inside = (row_epochs >= span[0]) & (row_epochs <= span[1])
-            for row, epoch in zip(rows[inside], row_epochs[inside]):
-                place = int(locations[row])
-                if place < 0:
-                    continue  # estimated away: the object is not on site
-                batch.append(
-                    ObjectEvent(
-                        time=int(epoch),
-                        tag=tag,
-                        site=self.site,
-                        place=place,
-                        container=container,
-                    )
-                )
-        # Runs advance monotonically, so per-run sorting keeps the whole
-        # event stream time-ordered for downstream query processing.
-        batch.sort(key=lambda e: (e.time, e.tag))
-        self.events.extend(batch)
+            if not inside.any():
+                continue
+            candidates.append((tag, container, inside))
+        result.prefetch_locations([tag for tag, _, _ in candidates])
+        for tag, container, inside in candidates:
+            locations = result.location_rows(tag)
+            places = locations[rows[inside]]
+            on_site = places >= 0  # estimated away rows emit nothing
+            if not on_site.any():
+                continue
+            times_parts.append(row_epochs[inside][on_site])
+            places_parts.append(places[on_site])
+            rank_parts.append(
+                np.full(int(on_site.sum()), len(emitted), dtype=np.int64)
+            )
+            emitted.append((tag, container))
+        if not emitted:
+            return
+        times = np.concatenate(times_parts)
+        places = np.concatenate(places_parts)
+        slots = np.concatenate(rank_parts)
+        ranks = np.fromiter(
+            (tag_rank[tag] for tag, _ in emitted), dtype=np.int64, count=len(emitted)
+        )
+        # Runs advance monotonically, so per-run (time, tag) ordering
+        # keeps the whole event stream time-ordered for queries.
+        order = np.lexsort((ranks[slots], times))
+        site = self.site
+        self.events.extend(
+            ObjectEvent(
+                time=int(times[i]),
+                tag=emitted[slots[i]][0],
+                site=site,
+                place=int(places[i]),
+                container=emitted[slots[i]][1],
+            )
+            for i in order.tolist()
+        )
 
     # -- accessors -------------------------------------------------------------
 

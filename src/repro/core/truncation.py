@@ -12,13 +12,19 @@ recent history H̄ are discarded.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.rfinfer import RFInferResult
 from repro.sim.tags import EPC
 
-__all__ = ["CriticalRegion", "find_critical_region", "find_all_critical_regions"]
+__all__ = [
+    "CriticalRegion",
+    "find_critical_region",
+    "find_critical_regions",
+    "find_all_critical_regions",
+]
 
 
 @dataclass(frozen=True)
@@ -66,19 +72,87 @@ def find_critical_region(
         [np.zeros((matrix.shape[0], 1)), np.cumsum(matrix, axis=1)], axis=1
     )
     first, last = int(epochs[0]), int(epochs[-1])
-    best_region: CriticalRegion | None = None
-    for start in range(first, last + 1, stride):
-        end = start + width
-        lo = int(np.searchsorted(epochs, start))
-        hi = int(np.searchsorted(epochs, end))
-        if hi <= lo:
+    # All window positions at once: per start, the candidates' evidence
+    # sums are prefix differences, and the best-vs-second margin falls
+    # out of one partition along the candidate axis.
+    starts = np.arange(first, last + 1, stride, dtype=np.int64)
+    lo = np.searchsorted(epochs, starts)
+    hi = np.searchsorted(epochs, starts + width)
+    occupied = hi > lo
+    if not occupied.any():
+        return None
+    starts, lo, hi = starts[occupied], lo[occupied], hi[occupied]
+    sums = cum[:, hi] - cum[:, lo]  # (n_candidates, n_windows)
+    top_two = np.partition(sums, sums.shape[0] - 2, axis=0)[-2:]
+    margins = top_two[1] - top_two[0]
+    winners = np.flatnonzero(margins > margin_threshold)
+    if winners.size == 0:
+        return None
+    # The *last* qualifying window wins (later evidence supersedes
+    # earlier per the paper's overwrite rule).
+    start = int(starts[winners[-1]])
+    return CriticalRegion(start, min(start + width, last + 1))
+
+
+def find_critical_regions(
+    result: RFInferResult,
+    tags: "Sequence[EPC] | None" = None,
+    width: int = 60,
+    stride: int | None = None,
+    margin_threshold: float = 10.0,
+) -> dict[EPC, CriticalRegion]:
+    """Critical regions for many objects in one batched pass.
+
+    Stacks every eligible object's evidence tracks into a single
+    matrix, so the cumulative sums and window-position lookups are
+    computed once per run instead of once per object. Row-for-row the
+    arithmetic matches :func:`find_critical_region`, which remains the
+    single-object form (and the reference the equivalence tests pin
+    this batch against).
+    """
+    if result.evidence is None:
+        raise ValueError("inference ran with keep_evidence=False")
+    if tags is None:
+        tags = list(result.evidence)
+    eligible: list[EPC] = []
+    bounds: list[int] = [0]
+    rows: list[np.ndarray] = []
+    for tag in tags:
+        tracks = result.evidence.get(tag)
+        if tracks is None or len(tracks) < 2:
             continue
-        sums = cum[:, hi] - cum[:, lo]
-        top_two = np.partition(sums, -2)[-2:]
-        margin = float(top_two[1] - top_two[0])
-        if margin > margin_threshold:
-            best_region = CriticalRegion(start, min(end, last + 1))
-    return best_region
+        eligible.append(tag)
+        rows.extend(tracks.values())
+        bounds.append(len(rows))
+    regions: dict[EPC, CriticalRegion] = {}
+    if not eligible:
+        return regions
+    if stride is None:
+        stride = max(width // 2, 1)
+
+    epochs = result.window.epochs
+    matrix = np.vstack(rows)
+    cum = np.concatenate(
+        [np.zeros((matrix.shape[0], 1)), np.cumsum(matrix, axis=1)], axis=1
+    )
+    first, last = int(epochs[0]), int(epochs[-1])
+    starts = np.arange(first, last + 1, stride, dtype=np.int64)
+    lo = np.searchsorted(epochs, starts)
+    hi = np.searchsorted(epochs, starts + width)
+    occupied = hi > lo
+    if not occupied.any():
+        return regions
+    starts, lo, hi = starts[occupied], lo[occupied], hi[occupied]
+    sums = cum[:, hi] - cum[:, lo]  # (total tracks, n_windows)
+    for idx, tag in enumerate(eligible):
+        seg = sums[bounds[idx] : bounds[idx + 1]]
+        top_two = np.partition(seg, seg.shape[0] - 2, axis=0)[-2:]
+        margins = top_two[1] - top_two[0]
+        winners = np.flatnonzero(margins > margin_threshold)
+        if winners.size:
+            start = int(starts[winners[-1]])
+            regions[tag] = CriticalRegion(start, min(start + width, last + 1))
+    return regions
 
 
 def find_all_critical_regions(
@@ -88,11 +162,6 @@ def find_all_critical_regions(
     margin_threshold: float = 10.0,
 ) -> dict[EPC, CriticalRegion]:
     """Critical regions for every object that has one."""
-    regions: dict[EPC, CriticalRegion] = {}
-    if result.evidence is None:
-        raise ValueError("inference ran with keep_evidence=False")
-    for tag in result.evidence:
-        region = find_critical_region(result, tag, width, stride, margin_threshold)
-        if region is not None:
-            regions[tag] = region
-    return regions
+    return find_critical_regions(
+        result, None, width=width, stride=stride, margin_threshold=margin_threshold
+    )

@@ -90,13 +90,31 @@ def merge_sites(result: SupplyChainResult) -> tuple[Trace, GroundTruth, list[int
         pi[off : off + n, off : off + n] = model.pi
     merged_model = ReadRateModel(merged_layout, pi, epsilon)
 
-    readings = [
-        Reading(r.time, r.tag, offsets[trace.site] + r.reader)
-        for trace in result.traces
-        for r in trace.readings
-    ]
+    merged_table = sorted({tag for trace in result.traces for tag in trace.tag_table})
+    merged_index = {tag: i for i, tag in enumerate(merged_table)}
+    times_parts: list[np.ndarray] = []
+    tag_parts: list[np.ndarray] = []
+    reader_parts: list[np.ndarray] = []
+    for trace in result.traces:
+        remap = np.fromiter(
+            (merged_index[tag] for tag in trace.tag_table),
+            dtype=np.int64,
+            count=len(trace.tag_table),
+        )
+        times_parts.append(trace.times)
+        tag_parts.append(remap[trace.tag_ids] if len(trace) else trace.tag_ids)
+        reader_parts.append(trace.readers + offsets[trace.site])
     horizon = result.params.horizon
-    merged_trace = Trace(0, merged_layout, merged_model, readings, horizon)
+    merged_trace = Trace.from_columns(
+        0,
+        merged_layout,
+        merged_model,
+        np.concatenate(times_parts) if times_parts else np.empty(0, np.int64),
+        np.concatenate(tag_parts) if tag_parts else np.empty(0, np.int64),
+        np.concatenate(reader_parts) if reader_parts else np.empty(0, np.int64),
+        merged_table,
+        horizon,
+    )
 
     merged_truth = GroundTruth()
     merged_truth.horizon = result.truth.horizon

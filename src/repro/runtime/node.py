@@ -33,6 +33,7 @@ automaton state, arrival/sensor cursors, and delivery cursors — and
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import Any, Iterable, Mapping
 
@@ -177,14 +178,16 @@ class SiteNode:
 
     def poll_arrivals(self, lo: int, hi: int) -> list[EPC]:
         """Tags first observed by this site's readers in ``[lo, hi)``."""
-        fresh = sorted({r.tag for r in self.trace.readings_in(lo, hi)} - self.seen)
+        fresh = sorted(set(self.trace.tags_read_in(lo, hi)) - self.seen)
         self.seen.update(fresh)
         return fresh
 
     def advance_to(self, boundary: int) -> None:
         """One inference tick: run RFINFER, feed new tuples to queries."""
-        self.service.run_at(boundary)
+        record = self.service.run_at(boundary)
+        started = time.perf_counter()
         self._feed_queries(boundary)
+        record.phase_seconds["queries"] = time.perf_counter() - started
 
     def _feed_queries(self, boundary: int) -> None:
         events = self.service.events[self._event_pos :]

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro._util.rng import spawn_rng
 from repro.sim.layout import Layout, ReaderSpec
-from repro.sim.trace import AWAY, GroundTruth, Reading, Trace
+from repro.sim.trace import AWAY, GroundTruth, Trace
 
 __all__ = ["ReadRateModel", "ObservationSampler", "active_epochs", "RateSpec"]
 
@@ -83,6 +83,8 @@ class ReadRateModel:
         # states a (R locations + away), of reader r firing vs silent.
         self.delta = self.log_pi - self.log_miss
         self._base_cache: dict[int, np.ndarray] = {}
+        self._pattern_table: np.ndarray | None = None
+        self._away_counts: np.ndarray | None = None
 
     @classmethod
     def build(
@@ -143,11 +145,41 @@ class ReadRateModel:
             self._base_cache[key] = cached
         return cached
 
+    def pattern_table(self) -> np.ndarray:
+        """All base vectors stacked by pattern key — (period, R+1).
+
+        Schedules are periodic, so this table turns a base-matrix build
+        into a single fancy-index gather: ``table[epochs % period]``.
+        """
+        if self._pattern_table is None:
+            period = self.layout.pattern_period
+            self._pattern_table = np.stack(
+                [self.base_vector(key) for key in range(period)]
+            )
+        return self._pattern_table
+
     def base_matrix(self, epochs: np.ndarray) -> np.ndarray:
         """Stack of base vectors for an array of epochs — (T, R)."""
         keys = np.asarray(epochs) % self.layout.pattern_period
-        unique = {int(k): self.base_vector(int(k)) for k in np.unique(keys)}
-        return np.stack([unique[int(k)] for k in keys])
+        return self.pattern_table()[keys]
+
+    def away_counts_table(self) -> np.ndarray:
+        """Active-reader count per pattern key — (period,), float.
+
+        The away hypothesis charges ``log(1 − ε)`` per interrogation a
+        departed tag silently misses; this table makes that a gather.
+        """
+        if self._away_counts is None:
+            layout = self.layout
+            self._away_counts = np.fromiter(
+                (
+                    len(layout.active_readers(key))
+                    for key in range(layout.pattern_period)
+                ),
+                dtype=float,
+                count=layout.pattern_period,
+            )
+        return self._away_counts
 
 
 def active_epochs(spec: ReaderSpec, start: int, end: int) -> np.ndarray:
@@ -179,10 +211,18 @@ class ObservationSampler:
         model: ReadRateModel,
         horizon: int,
     ) -> Trace:
-        """Generate the reading stream one site would observe."""
+        """Generate the reading stream one site would observe.
+
+        Readings are assembled columnar — one (epochs, tag, reader)
+        chunk per dwell segment and detectable reader — and handed to
+        :meth:`Trace.from_columns` without ever materializing per-row
+        tuples. The RNG draw sequence is unchanged, so sampled streams
+        are identical to the tuple-era sampler's.
+        """
         rng = spawn_rng(self._seed, "readings", site)
-        readings: list[Reading] = []
-        for tag in sorted(truth.locations):
+        tag_table = sorted(truth.locations)
+        chunks: list[tuple[np.ndarray, int, int]] = []
+        for tag_id, tag in enumerate(tag_table):
             imap = truth.locations[tag]
             for seg_start, seg_end, location in imap.segments(0, horizon):
                 if location is None or location == AWAY or location.site != site:
@@ -193,10 +233,21 @@ class ObservationSampler:
                         continue
                     rate = model.pi[reader, location.place]
                     hits = epochs[rng.random(epochs.size) < rate]
-                    readings.extend(
-                        Reading(int(t), tag, int(reader)) for t in hits
-                    )
-        return Trace(site, layout, model, readings, horizon)
+                    if hits.size:
+                        chunks.append((hits, tag_id, int(reader)))
+        if chunks:
+            times = np.concatenate([c[0] for c in chunks])
+            tag_ids = np.concatenate(
+                [np.full(c[0].size, c[1], dtype=np.int64) for c in chunks]
+            )
+            readers = np.concatenate(
+                [np.full(c[0].size, c[2], dtype=np.int64) for c in chunks]
+            )
+        else:
+            times = tag_ids = readers = np.empty(0, dtype=np.int64)
+        return Trace.from_columns(
+            site, layout, model, times, tag_ids, readers, tag_table, horizon
+        )
 
     def sample_all_sites(
         self,

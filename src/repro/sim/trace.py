@@ -6,6 +6,14 @@ A raw RFID reading is ``(time, tag id, reader id)`` — nothing more
 with the site's layout and measured read-rate model (read rates are
 measured with reference tags in deployments, §3.1).
 
+Storage is **columnar**: readings live in sorted parallel numpy arrays
+(epoch, tag index, reader index) against an interned tag table, kept in
+two orders — time-major for stream scans and tag-major for per-tag
+window extraction. ``tag_readings_in`` is two ``searchsorted`` calls
+returning array views; nothing on the inference hot path materializes
+Python tuples. The :class:`Reading` namedtuple remains the row-level
+interchange format for codecs, CSV IO, and tests.
+
 :class:`GroundTruth` is the simulator's record of what actually
 happened: true locations, true containment, and injected containment
 changes. It is used only for evaluation and for sampling synthetic
@@ -14,8 +22,9 @@ readings — never by the inference algorithms.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple, Sequence
+
+import numpy as np
 
 from repro._util.intervals import IntervalMap
 from repro.sim.tags import EPC, TagKind
@@ -25,6 +34,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.readers import ReadRateModel
 
 __all__ = ["Location", "AWAY", "Reading", "ContainmentChange", "GroundTruth", "Trace"]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 class Location(NamedTuple):
@@ -120,10 +131,19 @@ class GroundTruth:
 
 
 class Trace:
-    """The raw reading stream observed at one site.
+    """The raw reading stream observed at one site (columnar).
 
-    Readings are stored sorted by time and indexed per tag for the
-    inference engine (which iterates a tag's readings inside a window).
+    Two parallel-array orderings are kept:
+
+    * **time-major** (``times``, ``tag_ids``, ``readers``) — sorted by
+      ``(time, tag, reader)``, driving stream scans and CSV export;
+    * **tag-major** (``tag_times``, ``tag_readers`` with ``tag_starts``
+      offsets) — sorted by ``(tag, time, reader)``, so a tag's readings
+      are one contiguous slice and a window restriction is two
+      ``searchsorted`` calls.
+
+    ``tag_table`` interns every tag with at least one reading, in EPC
+    order; ``tag_ids`` index into it.
     """
 
     def __init__(
@@ -134,61 +154,245 @@ class Trace:
         readings: Iterable[Reading],
         horizon: int,
     ) -> None:
+        rows = list(readings)
+        table = sorted({r.tag for r in rows})
+        index = {tag: i for i, tag in enumerate(table)}
+        times = np.fromiter((r.time for r in rows), dtype=np.int64, count=len(rows))
+        tag_ids = np.fromiter(
+            (index[r.tag] for r in rows), dtype=np.int64, count=len(rows)
+        )
+        readers = np.fromiter(
+            (r.reader for r in rows), dtype=np.int64, count=len(rows)
+        )
+        self._init_columns(site, layout, model, times, tag_ids, readers, table, horizon)
+
+    @classmethod
+    def from_columns(
+        cls,
+        site: int,
+        layout: "Layout",
+        model: "ReadRateModel",
+        times: np.ndarray,
+        tag_ids: np.ndarray,
+        readers: np.ndarray,
+        tag_table: Sequence[EPC],
+        horizon: int,
+    ) -> "Trace":
+        """Build a trace directly from parallel reading columns.
+
+        ``tag_table`` need not be sorted or fully used; the constructor
+        re-interns so that ``tag_table`` ends up EPC-sorted and every
+        entry has at least one reading (the :meth:`tags` contract).
+        """
+        trace = cls.__new__(cls)
+        times = np.ascontiguousarray(times, dtype=np.int64)
+        tag_ids = np.ascontiguousarray(tag_ids, dtype=np.int64)
+        readers = np.ascontiguousarray(readers, dtype=np.int64)
+        table = list(tag_table)
+        used = np.unique(tag_ids) if tag_ids.size else _EMPTY_I64
+        order = sorted(used.tolist(), key=lambda i: table[i])
+        remap = np.zeros(len(table), dtype=np.int64)
+        for new_id, old_id in enumerate(order):
+            remap[old_id] = new_id
+        compact = [table[i] for i in order]
+        trace._init_columns(
+            site,
+            layout,
+            model,
+            times,
+            remap[tag_ids] if tag_ids.size else tag_ids,
+            readers,
+            compact,
+            horizon,
+        )
+        return trace
+
+    def _init_columns(
+        self,
+        site: int,
+        layout: "Layout",
+        model: "ReadRateModel",
+        times: np.ndarray,
+        tag_ids: np.ndarray,
+        readers: np.ndarray,
+        tag_table: list[EPC],
+        horizon: int,
+    ) -> None:
         self.site = site
         self.layout = layout
         self.model = model
-        self.readings: list[Reading] = sorted(readings)
         self.horizon = horizon
-        self._by_tag: dict[EPC, list[tuple[int, int]]] = defaultdict(list)
-        for r in self.readings:
-            self._by_tag[r.tag].append((r.time, r.reader))
+        self.tag_table: list[EPC] = tag_table
+        self._tag_index: dict[EPC, int] = {t: i for i, t in enumerate(tag_table)}
+        # Time-major order (== sorted(readings) of the tuple era, since
+        # tag ids follow EPC order).
+        order = np.lexsort((readers, tag_ids, times))
+        self.times = times[order]
+        self.tag_ids = tag_ids[order]
+        self.readers = readers[order]
+        # Tag-major order: each tag's readings are one contiguous,
+        # time-sorted slice.
+        torder = np.lexsort((readers, times, tag_ids))
+        self.tag_times = times[torder]
+        self.tag_readers = readers[torder]
+        counts = np.bincount(tag_ids, minlength=len(tag_table)) if tag_ids.size else (
+            np.zeros(len(tag_table), dtype=np.int64)
+        )
+        self.tag_starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+        )
+        self._readings_cache: list[Reading] | None = None
+        self._time_key_cache: tuple[np.ndarray, int] | None = None
+
+    # -- tuple-level views (IO, codecs, tests) ---------------------------
+
+    @property
+    def readings(self) -> list[Reading]:
+        """The readings as (time, tag, reader) tuples, in time order.
+
+        Materialized lazily and cached — the inference hot path never
+        calls this; it exists for codecs, persistence, and tests.
+        """
+        if self._readings_cache is None:
+            table = self.tag_table
+            self._readings_cache = [
+                Reading(int(t), table[i], int(r))
+                for t, i, r in zip(
+                    self.times.tolist(), self.tag_ids.tolist(), self.readers.tolist()
+                )
+            ]
+        return self._readings_cache
 
     def __len__(self) -> int:
-        return len(self.readings)
+        return int(self.times.size)
+
+    # -- tag-level access -------------------------------------------------
 
     def tags(self, kind: TagKind | None = None) -> list[EPC]:
         """Tags with at least one reading, optionally filtered by kind."""
         if kind is None:
-            return sorted(self._by_tag)
-        return sorted(t for t in self._by_tag if t.kind is kind)
+            return list(self.tag_table)
+        return [t for t in self.tag_table if t.kind is kind]
 
-    def tag_readings(self, tag: EPC) -> list[tuple[int, int]]:
-        """All ``(time, reader)`` pairs for ``tag``, in time order."""
-        return self._by_tag.get(tag, [])
+    def tag_id(self, tag: EPC) -> int | None:
+        """Interned index of ``tag`` (None if it never produced a reading)."""
+        return self._tag_index.get(tag)
 
-    def tag_readings_in(self, tag: EPC, start: int, end: int) -> list[tuple[int, int]]:
-        """``(time, reader)`` pairs for ``tag`` with ``start <= time < end``."""
-        from bisect import bisect_left
+    def tag_slice(self, tag: EPC) -> tuple[int, int]:
+        """``[lo, hi)`` bounds of ``tag``'s readings in the tag-major arrays."""
+        idx = self._tag_index.get(tag)
+        if idx is None:
+            return 0, 0
+        return int(self.tag_starts[idx]), int(self.tag_starts[idx + 1])
 
-        rows = self._by_tag.get(tag, [])
-        lo = bisect_left(rows, (start, -1))
-        hi = bisect_left(rows, (end, -1))
-        return rows[lo:hi]
+    def tag_readings(self, tag: EPC) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, readers)`` array views for ``tag``, in time order."""
+        lo, hi = self.tag_slice(tag)
+        return self.tag_times[lo:hi], self.tag_readers[lo:hi]
+
+    def reading_count(self, tag: EPC) -> int:
+        """Number of readings of ``tag`` in the whole trace."""
+        lo, hi = self.tag_slice(tag)
+        return hi - lo
+
+    def _time_keys(self) -> tuple[np.ndarray, int]:
+        """Composite ``tag_id * mult + time`` keys over the tag-major
+        order (cached) — they make per-tag time-range lookups for *all*
+        tags two vectorized ``searchsorted`` calls."""
+        if self._time_key_cache is None:
+            if self.tag_times.size:
+                mult = int(self.tag_times.max()) + 2
+                counts = np.diff(self.tag_starts)
+                ids = np.repeat(
+                    np.arange(len(self.tag_table), dtype=np.int64), counts
+                )
+                keys = ids * mult + self.tag_times
+            else:
+                mult = 2
+                keys = np.empty(0, dtype=np.int64)
+            self._time_key_cache = (keys, mult)
+        return self._time_key_cache
+
+    def tag_range_bounds(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-tag ``[a, b)`` bounds (tag-major indices) of readings
+        with ``start <= time < end`` — for every tag in one shot.
+
+        Work is O(n_tags · log n_readings) regardless of the range, so
+        window builds stay bounded by the window, not the stream age.
+        """
+        keys, mult = self._time_keys()
+        ids = np.arange(len(self.tag_table), dtype=np.int64)
+        lo = min(max(int(start), 0), mult - 1)
+        hi = min(max(int(end), 0), mult - 1)
+        a = np.searchsorted(keys, ids * mult + lo, side="left")
+        b = np.searchsorted(keys, ids * mult + hi, side="left")
+        return a, b
+
+    def tag_readings_in(
+        self, tag: EPC, start: int, end: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, readers)`` array views with ``start <= time < end``.
+
+        Two ``searchsorted`` calls into the tag's contiguous slice — no
+        Python-level iteration, no copies.
+        """
+        lo, hi = self.tag_slice(tag)
+        seg = self.tag_times[lo:hi]
+        a = int(np.searchsorted(seg, start, side="left"))
+        b = int(np.searchsorted(seg, end, side="left"))
+        return seg[a:b], self.tag_readers[lo + a : lo + b]
+
+    # -- stream-level access ------------------------------------------------
+
+    def time_slice(self, start: int, end: int) -> tuple[int, int]:
+        """``[lo, hi)`` bounds of epochs ``start <= t < end`` in the
+        time-major arrays."""
+        lo = int(np.searchsorted(self.times, start, side="left"))
+        hi = int(np.searchsorted(self.times, end, side="left"))
+        return lo, hi
+
+    def readings_in_columns(
+        self, start: int, end: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(times, tag_ids, readers)`` views for ``start <= time < end``."""
+        lo, hi = self.time_slice(start, end)
+        return self.times[lo:hi], self.tag_ids[lo:hi], self.readers[lo:hi]
+
+    def tags_read_in(self, start: int, end: int) -> list[EPC]:
+        """Distinct tags with at least one reading in ``[start, end)``."""
+        _, tag_ids, _ = self.readings_in_columns(start, end)
+        return [self.tag_table[i] for i in np.unique(tag_ids).tolist()]
 
     def readings_in(self, start: int, end: int) -> Iterator[Reading]:
         """All readings with ``start <= time < end``, in time order."""
-        from bisect import bisect_left
-
-        lo = bisect_left(self.readings, Reading(start, EPC(TagKind.PALLET, -1), -1))
-        for idx in range(lo, len(self.readings)):
-            reading = self.readings[idx]
-            if reading.time >= end:
-                break
-            yield reading
+        times, tag_ids, readers = self.readings_in_columns(start, end)
+        table = self.tag_table
+        for t, i, r in zip(times.tolist(), tag_ids.tolist(), readers.tolist()):
+            yield Reading(t, table[i], r)
 
     def first_seen(self, tag: EPC) -> int | None:
         """Epoch of the first reading of ``tag`` (None if never read)."""
-        rows = self._by_tag.get(tag)
-        return rows[0][0] if rows else None
+        lo, hi = self.tag_slice(tag)
+        return int(self.tag_times[lo]) if hi > lo else None
 
     def last_seen(self, tag: EPC) -> int | None:
         """Epoch of the last reading of ``tag`` (None if never read)."""
-        rows = self._by_tag.get(tag)
-        return rows[-1][0] if rows else None
+        lo, hi = self.tag_slice(tag)
+        return int(self.tag_times[hi - 1]) if hi > lo else None
 
     def restricted(self, epochs: "set[int] | None" = None) -> "Trace":
         """A copy keeping only readings whose epoch is in ``epochs``."""
         if epochs is None:
             return self
-        kept = [r for r in self.readings if r.time in epochs]
-        return Trace(self.site, self.layout, self.model, kept, self.horizon)
+        wanted = np.fromiter(epochs, dtype=np.int64, count=len(epochs))
+        keep = np.isin(self.times, wanted)
+        return Trace.from_columns(
+            self.site,
+            self.layout,
+            self.model,
+            self.times[keep],
+            self.tag_ids[keep],
+            self.readers[keep],
+            self.tag_table,
+            self.horizon,
+        )

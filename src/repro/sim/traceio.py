@@ -20,7 +20,7 @@ import numpy as np
 from repro.sim.layout import Layout, ReaderKind, ReaderSpec
 from repro.sim.readers import ReadRateModel
 from repro.sim.tags import EPC
-from repro.sim.trace import Reading, Trace
+from repro.sim.trace import Trace
 
 __all__ = ["write_trace", "read_trace", "write_model", "read_model"]
 
@@ -28,21 +28,37 @@ _CSV_HEADER = ["time", "tag_id", "reader_id"]
 
 
 def write_trace(trace: Trace, readings_path: str | Path, model_path: str | Path) -> None:
-    """Persist a trace: readings as CSV, layout + rates as JSON."""
+    """Persist a trace: readings as CSV, layout + rates as JSON.
+
+    Rows are written straight from the trace's time-major columns; the
+    tag column is rendered once per interned tag, not once per row.
+    """
     readings_path = Path(readings_path)
+    tag_text = [str(tag) for tag in trace.tag_table]
     with readings_path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(_CSV_HEADER)
-        for reading in trace.readings:
-            writer.writerow([reading.time, str(reading.tag), reading.reader])
+        writer.writerows(
+            (time, tag_text[tag_id], reader)
+            for time, tag_id, reader in zip(
+                trace.times.tolist(), trace.tag_ids.tolist(), trace.readers.tolist()
+            )
+        )
     write_model(trace.model, model_path, site=trace.site, horizon=trace.horizon)
 
 
 def read_trace(readings_path: str | Path, model_path: str | Path) -> Trace:
-    """Load a trace written by :func:`write_trace` (or hand-authored)."""
+    """Load a trace written by :func:`write_trace` (or hand-authored).
+
+    Tags are interned while parsing, so the trace is assembled columnar
+    without an intermediate list of :class:`Reading` tuples.
+    """
     model, site, horizon = read_model(model_path)
-    readings: list[Reading] = []
-    max_time = 0
+    times: list[int] = []
+    tag_ids: list[int] = []
+    reader_ids: list[int] = []
+    tag_table: list[EPC] = []
+    intern: dict[str, int] = {}
     with Path(readings_path).open(newline="") as fh:
         reader = csv.reader(fh)
         header = next(reader)
@@ -52,11 +68,25 @@ def read_trace(readings_path: str | Path, model_path: str | Path) -> Trace:
             if not row:
                 continue
             time, tag_text, reader_id = row
-            readings.append(Reading(int(time), EPC.parse(tag_text), int(reader_id)))
-            max_time = max(max_time, int(time))
+            tag_id = intern.get(tag_text)
+            if tag_id is None:
+                tag_id = intern[tag_text] = len(tag_table)
+                tag_table.append(EPC.parse(tag_text))
+            times.append(int(time))
+            tag_ids.append(tag_id)
+            reader_ids.append(int(reader_id))
     if horizon is None:
-        horizon = max_time + 1
-    return Trace(site, model.layout, model, readings, horizon)
+        horizon = (max(times) + 1) if times else 1
+    return Trace.from_columns(
+        site,
+        model.layout,
+        model,
+        np.asarray(times, dtype=np.int64),
+        np.asarray(tag_ids, dtype=np.int64),
+        np.asarray(reader_ids, dtype=np.int64),
+        tag_table,
+        horizon,
+    )
 
 
 def write_model(

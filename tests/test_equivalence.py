@@ -1,0 +1,279 @@
+"""Equivalence proofs for the batched inference kernels.
+
+The batched M-step/evidence kernels (``InferenceConfig(batched=True)``,
+the default) must be indistinguishable from the historical per-pair
+path (``batched=False``) and from the naive line-by-line Algorithm 1
+(:mod:`repro.core.reference`):
+
+* containment, change points, critical regions, and emitted events are
+  **identical** (the discrete outputs downstream layers consume);
+* evidence arrays are **float64-exact** against the per-pair path (the
+  batched extraction replays the same additions in the same order);
+* weights agree to float64 rounding (the silence terms sum in a
+  different — but mathematically identical — order);
+* a federated chaos-seed run ships **byte-identical** Table-5 ledger
+  traffic under either kernel.
+
+Three workload scenarios cover the policy space: critical-region
+truncation on a clean chain, change detection + events on an anomalous
+chain, and sliding-window truncation; the federation scenario adds
+migrations, query state, and a faulty transport.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.likelihood import TraceWindow, WindowCache
+from repro.core.reference import reference_rfinfer
+from repro.core.rfinfer import InferenceConfig, RFInfer
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.core.truncation import find_critical_region, find_critical_regions
+from repro.sim.supplychain import SupplyChainParams, simulate
+from repro.sim.tags import TagKind
+
+from chaos import CHAOS_CONFIG, chaos_scenario, chaos_transport, run_chaos
+
+
+def _service_outputs(trace, config: ServiceConfig, horizon: int):
+    service = StreamingInference(trace, config)
+    service.run_until(horizon)
+    return service
+
+
+def _run_pair(trace, config: ServiceConfig, horizon: int):
+    batched = _service_outputs(
+        trace, replace(config, inference=replace(config.inference, batched=True)),
+        horizon,
+    )
+    per_pair = _service_outputs(
+        trace, replace(config, inference=replace(config.inference, batched=False)),
+        horizon,
+    )
+    return batched, per_pair
+
+
+SCENARIO_CONFIGS = {
+    "cr-clean": ServiceConfig(
+        run_interval=300, recent_history=600, truncation="cr", emit_events=True
+    ),
+    "changes-anomalies": ServiceConfig(
+        run_interval=300,
+        recent_history=600,
+        truncation="cr",
+        change_detection=True,
+        change_threshold=80.0,
+        emit_events=True,
+        event_period=5,
+    ),
+    "sliding-window": ServiceConfig(
+        run_interval=300,
+        recent_history=600,
+        truncation="window",
+        window_size=900,
+        emit_events=True,
+        event_period=10,
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def scenarios(small_chain, anomaly_chain):
+    return {
+        "cr-clean": (small_chain, 900),
+        "changes-anomalies": (anomaly_chain, 1500),
+        "sliding-window": (anomaly_chain, 1500),
+    }
+
+
+class TestServiceEquivalence:
+    """Batched vs per-pair kernels through the full periodic service."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_CONFIGS))
+    def test_discrete_outputs_identical(self, name, scenarios):
+        result, horizon = scenarios[name]
+        batched, per_pair = _run_pair(result.trace, SCENARIO_CONFIGS[name], horizon)
+        assert batched.containment == per_pair.containment
+        assert batched.changes == per_pair.changes
+        assert batched.critical_regions == per_pair.critical_regions
+        assert batched.events == per_pair.events
+        assert [r.containment for r in batched.runs] == [
+            r.containment for r in per_pair.runs
+        ]
+        assert [r.iterations for r in batched.runs] == [
+            r.iterations for r in per_pair.runs
+        ]
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_CONFIGS))
+    def test_weights_match_to_rounding(self, name, scenarios):
+        result, horizon = scenarios[name]
+        batched, per_pair = _run_pair(result.trace, SCENARIO_CONFIGS[name], horizon)
+        assert set(batched.last_weights) == set(per_pair.last_weights)
+        for tag, per_candidate in batched.last_weights.items():
+            other = per_pair.last_weights[tag]
+            assert set(per_candidate) == set(other)
+            for cand, weight in per_candidate.items():
+                assert weight == pytest.approx(other[cand], rel=1e-9, abs=1e-8)
+
+
+class TestKernelEquivalence:
+    """Kernel-level checks against the per-pair path and Algorithm 1."""
+
+    @pytest.fixture(scope="class")
+    def window(self, small_chain):
+        return TraceWindow.from_range(small_chain.trace, 0, 900)
+
+    def _engines(self, window, **kwargs):
+        fast = RFInfer(window, InferenceConfig(batched=True), **kwargs).run()
+        slow = RFInfer(window, InferenceConfig(batched=False), **kwargs).run()
+        return fast, slow
+
+    def test_masked_run_evidence_is_bitwise_equal(self, window):
+        objects = window.tags(TagKind.ITEM)
+        ranges = {obj: [(100, 700)] for obj in objects[::2]}
+        fast, slow = self._engines(window, object_ranges=ranges)
+        assert fast.containment == slow.containment
+        assert fast.candidates == slow.candidates
+        assert fast.evidence is not None and slow.evidence is not None
+        for obj, tracks in fast.evidence.items():
+            assert list(tracks) == list(slow.evidence[obj])
+            for cand, arr in tracks.items():
+                np.testing.assert_array_equal(arr, slow.evidence[obj][cand])
+
+    def test_prior_weights_run_matches(self, window):
+        objects = window.tags(TagKind.ITEM)
+        containers = window.tags(TagKind.CASE)
+        priors = {obj: {containers[0]: -3.0, containers[-1]: -1.0} for obj in objects[:7]}
+        fast, slow = self._engines(window, prior_weights=priors)
+        assert fast.containment == slow.containment
+        for obj in objects:
+            for cand, weight in fast.weights[obj].items():
+                assert weight == pytest.approx(slow.weights[obj][cand], rel=1e-9)
+
+    def test_batched_matches_naive_algorithm1(self, window):
+        objects = window.tags(TagKind.ITEM)[:10]
+        containers = window.tags(TagKind.CASE)
+        initial = {obj: containers[0] for obj in objects}
+        fast = RFInfer(
+            window,
+            InferenceConfig(batched=True, candidate_pruning=False),
+            objects=objects,
+            containers=containers,
+            initial_containment=initial,
+        ).run()
+        slow = reference_rfinfer(
+            window, objects, containers, initial_containment=initial
+        )
+        assert fast.containment == slow.containment
+        for obj in objects:
+            for cand in containers:
+                assert fast.weights[obj][cand] == pytest.approx(
+                    slow.weights[obj][cand], rel=1e-6, abs=1e-6
+                )
+
+    def test_log_likelihood_memo_matches_recompute(self, window):
+        fast, slow = self._engines(window)
+        # The memoized path (batched run) and the from-scratch path must
+        # agree; slow shares the same memo logic, so force a cache miss
+        # by clearing it.
+        memoized = fast.log_likelihood()
+        fast._logz_cache.clear()
+        assert memoized == pytest.approx(fast.log_likelihood(), rel=1e-12)
+        assert memoized == pytest.approx(slow.log_likelihood(), rel=1e-12)
+
+
+class TestWindowEquivalence:
+    """Incremental windows must be bitwise identical to cold builds."""
+
+    def test_window_cache_reuse_is_bitwise(self, small_chain):
+        cache = WindowCache(small_chain.trace)
+        first = cache.window(np.arange(0, 600))
+        # Overlapping slide plus a disjoint critical region.
+        epochs = np.concatenate([np.arange(40, 80), np.arange(300, 900)])
+        warm = cache.window(epochs)
+        cold = TraceWindow(small_chain.trace, epochs)
+        assert warm.base_rows_reused > 0
+        np.testing.assert_array_equal(warm.epochs, cold.epochs)
+        np.testing.assert_array_equal(warm.base, cold.base)
+        assert set(warm.readings) == set(cold.readings)
+        for tag, (rows, readers) in warm.readings.items():
+            np.testing.assert_array_equal(rows, cold.readings[tag][0])
+            np.testing.assert_array_equal(readers, cold.readings[tag][1])
+        assert first.base_rows_reused == 0
+
+    def test_window_cache_subset_reuse(self, small_chain):
+        """A window that is a strict subset of the previous one must
+        gather the matching rows, not alias the larger base matrix."""
+        cache = WindowCache(small_chain.trace)
+        cache.window(np.arange(0, 600))
+        warm = cache.window(np.arange(100, 400))
+        cold = TraceWindow(small_chain.trace, np.arange(100, 400))
+        assert warm.base.shape == cold.base.shape
+        np.testing.assert_array_equal(warm.base, cold.base)
+        assert warm.base_rows_reused == warm.n_rows
+
+    def test_batched_cr_search_matches_single(self, anomaly_chain):
+        service = StreamingInference(
+            anomaly_chain.trace,
+            ServiceConfig(
+                run_interval=300,
+                recent_history=600,
+                truncation="cr",
+                emit_events=False,
+                retain_evidence=True,
+            ),
+        )
+        service.run_until(1500)
+        checked = 0
+        for record in service.runs:
+            if record.result is None or record.result.evidence is None:
+                continue
+            objects = list(record.result.evidence)
+            batch = find_critical_regions(record.result, objects)
+            for obj in objects:
+                single = find_critical_region(record.result, obj)
+                assert batch.get(obj) == single
+                checked += 1
+        assert checked > 0
+
+
+class TestFederationEquivalence:
+    """Batched vs per-pair kernels across a chaos-seed federation run.
+
+    Everything observable — containment error, alerts, detected
+    changes, migrations, and the Table-5 per-kind ledger byte counts —
+    must be identical, including under a seeded faulty transport.
+    """
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        scenario = chaos_scenario()
+        legacy_config = replace(
+            CHAOS_CONFIG, inference=replace(CHAOS_CONFIG.inference, batched=False)
+        )
+        batched = run_chaos(scenario, CHAOS_CONFIG)
+        per_pair = run_chaos(scenario, legacy_config)
+        chaotic = run_chaos(scenario, CHAOS_CONFIG, transport=chaos_transport(101))
+        return batched, per_pair, chaotic
+
+    def test_federation_outputs_identical(self, results):
+        batched, per_pair, _ = results
+        assert batched.containment_error == per_pair.containment_error
+        assert batched.snapshots == per_pair.snapshots
+        assert batched.alerts == per_pair.alerts
+        assert batched.changes == per_pair.changes
+        assert batched.migrations == per_pair.migrations
+
+    def test_table5_ledger_bytes_identical(self, results):
+        batched, per_pair, _ = results
+        assert batched.data_bytes == per_pair.data_bytes
+        assert batched.all_bytes == per_pair.all_bytes
+
+    def test_chaos_transport_still_converges_with_batched_kernels(self, results):
+        batched, _, chaotic = results
+        assert chaotic.containment_error == batched.containment_error
+        assert chaotic.alerts == batched.alerts
+        assert chaotic.changes == batched.changes
+        assert chaotic.data_bytes == batched.data_bytes
+        assert chaotic.overhead_bytes > 0

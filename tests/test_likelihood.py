@@ -25,11 +25,10 @@ class TestTraceWindow:
     def test_tag_rows_match_trace(self, window, small_chain):
         tag = window.tags(TagKind.CASE)[0]
         rows, readers = window.tag_rows(tag)
-        raw = small_chain.trace.tag_readings_in(tag, 0, 600)
-        assert rows.size == len(raw)
-        for (row, reader), (time, raw_reader) in zip(zip(rows, readers), raw):
-            assert window.epochs[row] == time
-            assert reader == raw_reader
+        raw_times, raw_readers = small_chain.trace.tag_readings_in(tag, 0, 600)
+        assert rows.size == raw_times.size
+        np.testing.assert_array_equal(window.epochs[rows], raw_times)
+        np.testing.assert_array_equal(readers, raw_readers)
 
     def test_noncontiguous_window_filters_readings(self, small_chain):
         epochs = list(range(0, 100)) + list(range(300, 400))
