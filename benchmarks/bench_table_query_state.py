@@ -1,5 +1,5 @@
 """§5.4 table — Q1/Q2 answer quality and query-state size w/ and w/o
-centroid sharing.
+centroid sharing, plus compiled-vs-legacy migrated-state accounting.
 
 A cold-chain deployment runs inference, feeds the inferred event stream
 to Q1 (hybrid: containment + location + temperature) and Q2 (location
@@ -8,11 +8,32 @@ storage area's hand-off point the per-object automaton states are
 serialized raw and with centroid-based sharing (grouped by container,
 as §4.2 prescribes).
 
+Since the declarative-plan refactor, each query also runs through its
+*legacy* hand-written implementation, and the per-query migrated-state
+bytes (the sum of every monitored object's ``export_state`` payload)
+are reported for both paths. They must be **equal** — compiled plans
+promise byte-identical migration state — and the bench asserts it.
+
 Expected shape: F-measures rise with the read rate and Q2 ≥ Q1 (Q2
 avoids the noisier containment estimate); sharing shrinks state several
 fold.
+
+Standalone usage (the CI smoke gate)::
+
+    PYTHONPATH=src python benchmarks/bench_table_query_state.py --smoke \\
+        --output BENCH_query_state.ci.json \\
+        --baseline BENCH_query_state.json --max-drift 0.10
+
+Regenerate the committed baseline after an intentional change::
+
+    PYTHONPATH=src python benchmarks/bench_table_query_state.py --smoke \\
+        --output BENCH_query_state.json
 """
 
+import argparse
+import json
+import os
+import sys
 from collections import defaultdict
 
 from _common import emit_table
@@ -21,6 +42,10 @@ from repro.core.events import ObjectEvent, events_from_truth
 from repro.core.service import ServiceConfig, StreamingInference
 from repro.distributed.sharing import centroid_compress
 from repro.metrics.fmeasure import match_alerts
+from repro.queries.legacy import (
+    LegacyFreezerExposureQuery,
+    LegacyTemperatureExposureQuery,
+)
 from repro.queries.q1 import FreezerExposureQuery
 from repro.queries.q2 import TemperatureExposureQuery
 from repro.sim.sensors import SensorReading
@@ -60,6 +85,16 @@ def state_sizes(query, service, scenario):
     return raw, shared
 
 
+def migrated_bytes(query, scenario):
+    """Total per-object migration payload (QueryState ``export_state``)."""
+    total = 0
+    for tag in sorted(scenario.catalog.frozen_items):
+        data = query.export_state(tag)
+        if data is not None:
+            total += len(data)
+    return total
+
+
 def run_cell(rr: float):
     # Few room cases so exposures cluster: exposed items sharing a case
     # also share the temperature history their states collect — the
@@ -88,53 +123,178 @@ def run_cell(rr: float):
     inferred_events = sorted(service.events, key=lambda e: e.time)
 
     out = {}
-    for name, factory in (
-        ("Q1", lambda: FreezerExposureQuery(scenario.catalog, exposure_duration=300)),
-        ("Q2", lambda: TemperatureExposureQuery(scenario.catalog, exposure_duration=400)),
+    for name, factory, legacy_factory in (
+        (
+            "Q1",
+            lambda: FreezerExposureQuery(scenario.catalog, exposure_duration=300),
+            lambda: LegacyFreezerExposureQuery(
+                scenario.catalog, exposure_duration=300
+            ),
+        ),
+        (
+            "Q2",
+            lambda: TemperatureExposureQuery(scenario.catalog, exposure_duration=400),
+            lambda: LegacyTemperatureExposureQuery(
+                scenario.catalog, exposure_duration=400
+            ),
+        ),
     ):
         truth_q = run_query(factory(), truth_events, scenario)
         inferred_q = run_query(factory(), inferred_events, scenario)
+        legacy_q = run_query(legacy_factory(), inferred_events, scenario)
         fm = match_alerts(
             inferred_q.alert_pairs(), truth_q.alert_pairs(), tolerance=TOLERANCE
         )
+        # Migrated bytes first: state_sizes probes via state_of, which
+        # materializes quiescent partitions and would inflate exports.
+        compiled_migrated = migrated_bytes(inferred_q, scenario)
+        legacy_migrated = migrated_bytes(legacy_q, scenario)
         raw, shared = state_sizes(inferred_q, service, scenario)
-        out[name] = (fm.f1, raw, shared)
+        # The refactor's core promise, enforced on every bench run.
+        assert compiled_migrated == legacy_migrated, (
+            f"{name}: compiled plan migrates {compiled_migrated} B, "
+            f"legacy path {legacy_migrated} B — byte equivalence broken"
+        )
+        assert inferred_q.alerts == legacy_q.alerts
+        out[name] = {
+            "read_rate": rr,
+            "f1": fm.f1,
+            "raw": raw,
+            "shared": shared,
+            "migrated_compiled": compiled_migrated,
+            "migrated_legacy": legacy_migrated,
+        }
     return out
 
 
-def run_sweep():
+def run_sweep(rates=READ_RATES):
     table = {"Q1": [], "Q2": []}
-    for rr in READ_RATES:
+    for rr in rates:
         cell = run_cell(rr)
         for name in ("Q1", "Q2"):
-            f1, raw, shared = cell[name]
-            table[name].append((rr, f1, raw, shared))
+            table[name].append(cell[name])
     return table
 
 
-def test_query_state_table(benchmark):
-    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def emit(table, rates):
     rows = []
     for name in ("Q1", "Q2"):
+        cells = table[name]
+        rows.append([f"{name} F-m.(%)"] + [f"{100 * c['f1']:.1f}" for c in cells])
+        rows.append([f"{name} state w/o share(B)"] + [str(c["raw"]) for c in cells])
+        rows.append([f"{name} state w. share(B)"] + [str(c["shared"]) for c in cells])
         rows.append(
-            [f"{name} F-m.(%)"] + [f"{100 * f1:.1f}" for _, f1, _, _ in table[name]]
+            [f"{name} migrated compiled(B)"]
+            + [str(c["migrated_compiled"]) for c in cells]
         )
         rows.append(
-            [f"{name} state w/o share(B)"] + [str(raw) for _, _, raw, _ in table[name]]
-        )
-        rows.append(
-            [f"{name} state w. share(B)"]
-            + [str(shared) for _, _, _, shared in table[name]]
+            [f"{name} migrated legacy(B)"]
+            + [str(c["migrated_legacy"]) for c in cells]
         )
     emit_table(
         "Sec 5.4 query accuracy and state sharing",
-        ["metric"] + [f"RR={rr}" for rr in READ_RATES],
+        ["metric"] + [f"RR={rr}" for rr in rates],
         rows,
     )
+
+
+# -- standalone CLI (CI smoke gate) ----------------------------------------
+
+
+def build_payload(smoke: bool) -> dict:
+    rates = READ_RATES[:1] if smoke else READ_RATES
+    table = run_sweep(rates)
+    emit(table, rates)
+    return {"smoke": smoke, "read_rates": rates, "queries": table}
+
+
+def check_drift(payload: dict, baseline_path: str, budget: float) -> list[str]:
+    """Migrated-byte comparison against the committed baseline.
+
+    Byte totals are deterministic given the seeded scenario, but
+    inference is floating-point: platform differences can shift which
+    events materialize and therefore how many pattern pushes collect
+    values. The gate allows ``budget`` relative drift; equivalence
+    between compiled and legacy is asserted exactly at run time.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base = {
+        (name, cell["read_rate"]): cell
+        for name, cells in baseline["queries"].items()
+        for cell in cells
+    }
+    failures = []
+    for name, cells in payload["queries"].items():
+        for cell in cells:
+            key = (name, cell["read_rate"])
+            if key not in base:
+                failures.append(
+                    f"{name}@RR={cell['read_rate']}: no baseline point in "
+                    f"{baseline_path}; regenerate the committed baseline"
+                )
+                continue
+            expected = base[key]["migrated_compiled"]
+            got = cell["migrated_compiled"]
+            if expected == 0:
+                continue
+            drift = abs(got - expected) / expected
+            if drift > budget:
+                failures.append(
+                    f"{name}@RR={cell['read_rate']}: migrated bytes {got} "
+                    f"drift {drift:.1%} from baseline {expected} "
+                    f"(budget {budget:.0%})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="first read rate only")
+    parser.add_argument("--output", help="write the payload JSON here")
+    parser.add_argument("--baseline", help="baseline JSON to gate against")
+    parser.add_argument(
+        "--max-drift",
+        type=float,
+        default=0.10,
+        help="allowed relative drift in migrated bytes vs baseline",
+    )
+    args = parser.parse_args(argv)
+    payload = build_payload(args.smoke)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    if args.baseline:
+        failures = check_drift(payload, args.baseline, args.max_drift)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print("query-state gate: within budget (compiled == legacy exact)")
+    return 0
+
+
+# -- pytest-benchmark entry point ------------------------------------------
+
+
+def test_query_state_table(benchmark):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    rates = READ_RATES[:1] if smoke else READ_RATES
+    table = benchmark.pedantic(lambda: run_sweep(rates), rounds=1, iterations=1)
+    emit(table, rates)
     for name in ("Q1", "Q2"):
         cells = table[name]
-        # F-measure healthy at high read rates.
-        assert cells[-1][1] >= 0.6
-        # Sharing shrinks every cell's state.
-        for _, _, raw, shared in cells:
-            assert shared < raw
+        if not smoke:
+            # F-measure healthy at high read rates.
+            assert cells[-1]["f1"] >= 0.6
+        for cell in cells:
+            # Sharing shrinks every cell's state.
+            assert cell["shared"] < cell["raw"]
+            # Compiled and legacy migrate identical bytes.
+            assert cell["migrated_compiled"] == cell["migrated_legacy"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,12 @@ class Network:
     messages_by_link: Counter = field(default_factory=Counter)
     log: list[Message] = field(default_factory=list)
     keep_log: bool = False
+    #: query-plan operator gauges (multi-query optimization): operator
+    #: instances actually built across all sites' engines, and
+    #: registrations served by an operator another query already built.
+    #: Kept outside the byte kinds so Table 5's accounting is untouched.
+    plan_operators_built: int = 0
+    plan_operators_shared: int = 0
 
     def send(self, src: int, dst: int, kind: str, payload: bytes) -> bytes:
         """Deliver ``payload`` and account for its size."""

@@ -13,92 +13,119 @@
       Where A[i].tag_id = A[1].tag_id and
             A[A.len].time > A[1].time + 6 hrs ]
 
-The inner block is local processing (events × latest temperature per
-sensor); the outer pattern block consumes the *global* stream S, so its
-per-object automaton state migrates between sites (Appendix B). The
-6-hour constant is a parameter here because reproduction traces are
-minutes long, not days.
+Q1 is now a *declarative spec* compiled into an operator plan
+(:mod:`repro.queries.compiler`): the inner block — frozen-product
+filter, ``[Partition By sensor Rows 1]`` temperature window, and the
+events × latest-temperature ``[Now]`` join — is local processing whose
+operators are shared with any other registered query that uses them
+(Q2 shares all three); the outer ``SEQ(A+)`` block consumes the
+*global* stream S, so its per-object automaton state migrates between
+sites (Appendix B). The 6-hour constant is a parameter here because
+reproduction traces are minutes long, not days.
 """
 
 from __future__ import annotations
 
-import struct
-from typing import Hashable, NamedTuple
-
-from repro._util.encoding import ByteReader, ByteWriter
-from repro.core.events import ObjectEvent
+from repro.queries.compiler import CompiledPattern, DeclarativeQuery
+from repro.queries.legacy import ExposureTuple
+from repro.queries.spec import (
+    And,
+    Compare,
+    ContainerIsFreezer,
+    IsFrozenProduct,
+    JoinLatest,
+    KleeneDuration,
+    Latest,
+    Node,
+    Not,
+    QuerySpec,
+    Stream,
+    Where,
+)
 from repro.sim.sensors import SensorReading
 from repro.streams.operators import LatestByKey
-from repro.streams.pattern import KleeneDurationPattern, PatternAlert, PatternState
-from repro.streams.state import (
-    decode_pattern_state,
-    encode_pattern_state,
-    restore_pattern,
-    snapshot_pattern,
-)
-from repro.sim.tags import EPC
+from repro.streams.pattern import KleeneDurationPattern
+from repro.streams.state import RowCodec
 from repro.workloads.catalog import ProductCatalog
 
 __all__ = [
     "FreezerExposureQuery",
     "ExposureTuple",
-    "snapshot_exposure_query",
-    "restore_exposure_query",
+    "SENSOR_CODEC",
+    "exposure_join",
+    "freezer_exposure_spec",
 ]
 
+#: wire layout of one temperature reading in window checkpoints — the
+#: exact field order and widths the hand-written Q1 snapshot used.
+SENSOR_CODEC = RowCodec(
+    fields=(
+        ("time", "varint"),
+        ("site", "svarint"),
+        ("sensor", "varint"),
+        ("temp", "float64"),
+    ),
+    row=SensorReading,
+)
 
-def snapshot_exposure_query(query) -> bytes:
-    """Checkpoint an exposure query (Q1/Q2): automaton states, fired
-    alerts, and the ``[Partition By sensor Rows 1]`` temperature table.
+#: the shared join's Rstream projection. ``container`` rides along even
+#: though Q2 never reads it: an identical projection is what lets the
+#: multi-query optimizer instantiate the join once for both queries.
+EXPOSURE_SELECT = (
+    ("time", "left.time"),
+    ("tag", "left.tag"),
+    ("place", "left.place"),
+    ("container", "left.container"),
+    ("temp", "right.temp"),
+)
 
-    The temperature table matters for crash recovery: without it, the
-    first events after a restart would find no latest reading and the
-    restored site would silently miss pattern pushes the fault-free run
-    made.
+
+def exposure_join(catalog: ProductCatalog) -> tuple[Node, Latest, Node]:
+    """The local sub-plan Q1 and Q2 share: frozen-product filter,
+    latest-temperature window, and the events × temperature join.
+
+    Returns ``(filtered_events, window, joined)``. Built separately by
+    each query's spec; structural signatures make the compiler unify
+    the instances when both are registered in one engine (§4.2's shared
+    local processing).
     """
-    writer = ByteWriter()
-    writer.blob(snapshot_pattern(query.pattern))
-    table = query.temperature.table
-    writer.varint(len(table))
-    for key in sorted(table):
-        reading = table[key]
-        writer.varint(reading.time)
-        writer.svarint(reading.site)
-        writer.varint(reading.sensor)
-        writer.float64(reading.temp)
-    return writer.getvalue()
+    events = Stream("events")
+    sensors = Stream("sensors")
+    frozen = Where(events, IsFrozenProduct(catalog))
+    window = Latest(sensors, key=("site", "sensor"), codec=SENSOR_CODEC)
+    joined = JoinLatest(
+        frozen, window, probe=("site", "place"), select=EXPOSURE_SELECT
+    )
+    return frozen, window, joined
 
 
-def restore_exposure_query(query, data: bytes) -> None:
-    """Inverse of :func:`snapshot_exposure_query`."""
-    reader = ByteReader(data)
-    try:
-        restore_pattern(query.pattern, reader.blob())
-        table = {}
-        for _ in range(reader.varint()):
-            reading = SensorReading(
-                time=reader.varint(),
-                site=reader.svarint(),
-                sensor=reader.varint(),
-                temp=reader.float64(),
-            )
-            table[(reading.site, reading.sensor)] = reading
-    except (EOFError, struct.error, IndexError) as exc:
-        raise ValueError(f"malformed exposure-query snapshot: {exc}") from exc
-    query.temperature.table = table
+def freezer_exposure_spec(
+    catalog: ProductCatalog,
+    exposure_duration: int = 300,
+    temp_threshold: float = 0.0,
+    name: str = "q1",
+) -> QuerySpec:
+    """Build Query 1 as a declarative spec."""
+    frozen, window, joined = exposure_join(catalog)
+    outside = Not(ContainerIsFreezer(catalog))
+    warm = Where(joined, And((outside, Compare("temp", ">", temp_threshold))))
+    cold = Where(joined, And((outside, Compare("temp", "<=", temp_threshold))))
+    back_inside = Where(frozen, ContainerIsFreezer(catalog))
+    pattern = KleeneDuration(
+        warm,
+        key=("tag",),
+        time="time",
+        value="temp",
+        duration=exposure_duration,
+        resets=(back_inside, cold),
+    )
+    return QuerySpec(
+        name, pattern, labels={"pattern": pattern, "temperature": window}
+    )
 
 
-class ExposureTuple(NamedTuple):
-    """One tuple of the inner query's output stream S."""
-
-    time: int
-    tag: EPC
-    place: int
-    temp: float
-
-
-class FreezerExposureQuery:
-    """Continuous evaluation of Query 1 over merged event/sensor streams."""
+class FreezerExposureQuery(DeclarativeQuery):
+    """Continuous evaluation of Query 1 (a compiled-plan facade)."""
 
     def __init__(
         self,
@@ -108,66 +135,17 @@ class FreezerExposureQuery:
     ) -> None:
         self.catalog = catalog
         self.temp_threshold = temp_threshold
-        # Temperature [Partition By sensor Rows 1]
-        self.temperature = LatestByKey(lambda s: (s.site, s.sensor))
-        # Pattern SEQ(A+) over the global stream, partitioned by tag id.
-        self.pattern = KleeneDurationPattern(
-            key_fn=lambda s: s.tag,
-            time_fn=lambda s: s.time,
-            value_fn=lambda s: s.temp,
-            duration=exposure_duration,
+        super().__init__(
+            freezer_exposure_spec(catalog, exposure_duration, temp_threshold)
         )
 
-    # -- stream handlers ----------------------------------------------------
-
-    def on_sensor(self, reading: SensorReading) -> None:
-        self.temperature.push(reading)
-
-    def on_event(self, event: ObjectEvent) -> None:
-        if not self.catalog.is_frozen_product(event.tag):
-            return
-        if self.catalog.is_freezer(event.container):
-            # Back under refrigeration: the exposure run is broken.
-            self.pattern.reset_key(event.tag, event.time)
-            return
-        reading = self.temperature.lookup((event.site, event.place))
-        if reading is None:
-            return
-        if reading.temp > self.temp_threshold:
-            self.pattern.push(
-                ExposureTuple(event.time, event.tag, event.place, reading.temp)
-            )
-        else:
-            # Measurably cold (e.g. a freezer location): not exposed.
-            self.pattern.reset_key(event.tag, event.time)
-
-    # -- results and migrated state ------------------------------------------
+    @property
+    def pattern(self) -> KleeneDurationPattern:
+        """The compiled ``SEQ(A+)`` automaton (global block)."""
+        block: CompiledPattern = self._plan.labels["pattern"]
+        return block.pattern
 
     @property
-    def alerts(self) -> list[PatternAlert]:
-        return self.pattern.alerts
-
-    def alert_pairs(self) -> list[tuple[Hashable, int]]:
-        """(tag, alert time) pairs for F-measure scoring."""
-        return [(alert.key, alert.end_time) for alert in self.alerts]
-
-    def export_state(self, tag: EPC) -> bytes | None:
-        state = self.pattern.export_state(tag)
-        return None if state is None else encode_pattern_state(state)
-
-    def import_state(self, tag: EPC, data: bytes) -> None:
-        """Absorb a migrated automaton state (merging with any local
-        partial match the new site has already built up)."""
-        self.pattern.absorb_state(tag, decode_pattern_state(data))
-
-    def active_states(self) -> dict[EPC, PatternState]:
-        """Per-object automaton states currently held (for sharing)."""
-        return dict(self.pattern.states)
-
-    # -- checkpoint hooks (crash recovery) --------------------------------
-
-    def snapshot_state(self) -> bytes:
-        return snapshot_exposure_query(self)
-
-    def restore_state(self, data: bytes) -> None:
-        restore_exposure_query(self, data)
+    def temperature(self) -> LatestByKey:
+        """The compiled ``[Partition By sensor Rows 1]`` window."""
+        return self._plan.labels["temperature"]

@@ -4,30 +4,51 @@
 over 10 degrees for 10 hours." Unlike Q1 it never consults the inferred
 container — which is why §5.4 finds its accuracy higher: location
 inference is more accurate than containment inference.
+
+As a spec, Q2 is Q1 minus the container clauses: the same shared local
+sub-plan (:func:`~repro.queries.q1.exposure_join`) feeds a ``SEQ(A+)``
+block gated only on temperature. Registered alongside Q1 in one
+engine, the frozen-product filter, temperature window, and join are
+instantiated once and shared.
 """
 
 from __future__ import annotations
 
-from typing import Hashable
-
-from repro.core.events import ObjectEvent
-from repro.queries.q1 import (
-    ExposureTuple,
-    restore_exposure_query,
-    snapshot_exposure_query,
-)
-from repro.sim.sensors import SensorReading
-from repro.sim.tags import EPC
+from repro.queries.compiler import CompiledPattern, DeclarativeQuery
+from repro.queries.q1 import exposure_join
+from repro.queries.spec import Compare, KleeneDuration, QuerySpec, Where
 from repro.streams.operators import LatestByKey
-from repro.streams.pattern import KleeneDurationPattern, PatternAlert, PatternState
-from repro.streams.state import decode_pattern_state, encode_pattern_state
+from repro.streams.pattern import KleeneDurationPattern
 from repro.workloads.catalog import ProductCatalog
 
-__all__ = ["TemperatureExposureQuery"]
+__all__ = ["TemperatureExposureQuery", "temperature_exposure_spec"]
 
 
-class TemperatureExposureQuery:
-    """Continuous evaluation of Query 2."""
+def temperature_exposure_spec(
+    catalog: ProductCatalog,
+    exposure_duration: int = 400,
+    temp_threshold: float = 10.0,
+    name: str = "q2",
+) -> QuerySpec:
+    """Build Query 2 as a declarative spec."""
+    _, window, joined = exposure_join(catalog)
+    warm = Where(joined, Compare("temp", ">", temp_threshold))
+    cold = Where(joined, Compare("temp", "<=", temp_threshold))
+    pattern = KleeneDuration(
+        warm,
+        key=("tag",),
+        time="time",
+        value="temp",
+        duration=exposure_duration,
+        resets=(cold,),
+    )
+    return QuerySpec(
+        name, pattern, labels={"pattern": pattern, "temperature": window}
+    )
+
+
+class TemperatureExposureQuery(DeclarativeQuery):
+    """Continuous evaluation of Query 2 (a compiled-plan facade)."""
 
     def __init__(
         self,
@@ -37,51 +58,17 @@ class TemperatureExposureQuery:
     ) -> None:
         self.catalog = catalog
         self.temp_threshold = temp_threshold
-        self.temperature = LatestByKey(lambda s: (s.site, s.sensor))
-        self.pattern = KleeneDurationPattern(
-            key_fn=lambda s: s.tag,
-            time_fn=lambda s: s.time,
-            value_fn=lambda s: s.temp,
-            duration=exposure_duration,
+        super().__init__(
+            temperature_exposure_spec(catalog, exposure_duration, temp_threshold)
         )
 
-    def on_sensor(self, reading: SensorReading) -> None:
-        self.temperature.push(reading)
-
-    def on_event(self, event: ObjectEvent) -> None:
-        if not self.catalog.is_frozen_product(event.tag):
-            return
-        reading = self.temperature.lookup((event.site, event.place))
-        if reading is None:
-            return
-        if reading.temp > self.temp_threshold:
-            self.pattern.push(
-                ExposureTuple(event.time, event.tag, event.place, reading.temp)
-            )
-        else:
-            self.pattern.reset_key(event.tag, event.time)
+    @property
+    def pattern(self) -> KleeneDurationPattern:
+        """The compiled ``SEQ(A+)`` automaton (global block)."""
+        block: CompiledPattern = self._plan.labels["pattern"]
+        return block.pattern
 
     @property
-    def alerts(self) -> list[PatternAlert]:
-        return self.pattern.alerts
-
-    def alert_pairs(self) -> list[tuple[Hashable, int]]:
-        return [(alert.key, alert.end_time) for alert in self.alerts]
-
-    def export_state(self, tag: EPC) -> bytes | None:
-        state = self.pattern.export_state(tag)
-        return None if state is None else encode_pattern_state(state)
-
-    def import_state(self, tag: EPC, data: bytes) -> None:
-        self.pattern.absorb_state(tag, decode_pattern_state(data))
-
-    def active_states(self) -> dict[EPC, PatternState]:
-        return dict(self.pattern.states)
-
-    # -- checkpoint hooks (crash recovery) --------------------------------
-
-    def snapshot_state(self) -> bytes:
-        return snapshot_exposure_query(self)
-
-    def restore_state(self, data: bytes) -> None:
-        restore_exposure_query(self, data)
+    def temperature(self) -> LatestByKey:
+        """The compiled ``[Partition By sensor Rows 1]`` window."""
+        return self._plan.labels["temperature"]

@@ -5,150 +5,50 @@ monitored tag carries an intended route (sequence of site ids); the
 query tracks per-object progress along that route from the inferred
 event stream and raises an alert the first time the object shows up at
 a site that is not the next (or current) step of its route.
+
+The spec is a single global block — a
+:class:`~repro.queries.spec.RouteConformance` automaton over the event
+stream — whose per-object progress migrates with the objects exactly
+like a pattern block's automaton state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import NamedTuple
+from repro.queries.compiler import (
+    DeclarativeQuery,
+    DeviationAlert,
+    RouteAutomaton,
+)
+from repro.queries.spec import QuerySpec, RouteConformance, Stream
+from repro.sim.tags import EPC
 
-from repro._util.encoding import ByteReader, ByteWriter
-from repro.core.events import ObjectEvent
-from repro.sim.tags import EPC, read_epc, write_epc
-
-__all__ = ["PathDeviationQuery", "DeviationAlert"]
-
-
-class DeviationAlert(NamedTuple):
-    """An object observed off its intended route."""
-
-    tag: EPC
-    time: int
-    site: int
-    expected: tuple[int, ...]
+__all__ = ["PathDeviationQuery", "DeviationAlert", "path_deviation_spec"]
 
 
-@dataclass
-class _RouteProgress:
-    """Per-object tracking state (migrates with the object)."""
+def path_deviation_spec(
+    routes: dict[EPC, tuple[int, ...]], name: str = "tracking"
+) -> QuerySpec:
+    """Build the tracking query as a declarative spec."""
+    automaton = RouteConformance(Stream("events"), routes)
+    return QuerySpec(name, automaton, labels={"route": automaton})
 
-    position: int = 0
-    deviated: bool = False
-    history: list[int] = field(default_factory=list)
 
-
-class PathDeviationQuery:
-    """Continuous route conformance checking."""
+class PathDeviationQuery(DeclarativeQuery):
+    """Continuous route conformance checking (a compiled-plan facade)."""
 
     def __init__(self, routes: dict[EPC, tuple[int, ...]]) -> None:
         self.routes = dict(routes)
-        self.progress: dict[EPC, _RouteProgress] = {}
-        self.alerts: list[DeviationAlert] = []
+        super().__init__(path_deviation_spec(self.routes))
 
-    def on_event(self, event: ObjectEvent) -> None:
-        route = self.routes.get(event.tag)
-        if route is None:
-            return
-        state = self.progress.setdefault(event.tag, _RouteProgress())
-        if state.deviated:
-            return
-        if not state.history or state.history[-1] != event.site:
-            state.history.append(event.site)
-        if state.position < len(route) and event.site == route[state.position]:
-            return  # still at the expected site
-        if state.position + 1 < len(route) and event.site == route[state.position + 1]:
-            state.position += 1  # advanced to the next expected site
-            return
-        state.deviated = True
-        expected = route[state.position : state.position + 2]
-        self.alerts.append(DeviationAlert(event.tag, event.time, event.site, expected))
+    @property
+    def _automaton(self) -> RouteAutomaton:
+        return self._plan.labels["route"]
+
+    @property
+    def progress(self) -> dict:
+        """Per-object route progress (the migratable automaton state)."""
+        return self._automaton.progress
 
     def path_of(self, tag: EPC) -> list[int]:
         """Sites visited so far (the "list the path taken" query)."""
-        state = self.progress.get(tag)
-        return list(state.history) if state is not None else []
-
-    # -- migrated state (runtime QueryRouter hooks) ------------------------
-
-    def export_state(self, tag: EPC) -> bytes | None:
-        """Serialize one object's route progress for migration."""
-        state = self.progress.get(tag)
-        if state is None:
-            return None
-        writer = ByteWriter()
-        writer.varint(state.position)
-        writer.varint(1 if state.deviated else 0)
-        writer.varint(len(state.history))
-        for site in state.history:
-            writer.varint(site)
-        return writer.getvalue()
-
-    def import_state(self, tag: EPC, data: bytes) -> None:
-        """Merge migrated route progress with any local observations.
-
-        The previous site's history precedes anything seen locally, so
-        its sites are prepended; progress keeps the furthest position
-        and an established deviation stays established.
-        """
-        reader = ByteReader(data)
-        try:
-            position = reader.varint()
-            deviated = bool(reader.varint())
-            history = [reader.varint() for _ in range(reader.varint())]
-        except EOFError as exc:
-            raise ValueError(f"malformed route state: {exc}") from exc
-        state = self.progress.setdefault(tag, _RouteProgress())
-        state.position = max(state.position, position)
-        state.deviated = state.deviated or deviated
-        merged = list(history)
-        for site in state.history:
-            if not merged or merged[-1] != site:
-                merged.append(site)
-        state.history = merged
-
-    # -- checkpoint hooks (crash recovery) ---------------------------------
-
-    def snapshot_state(self) -> bytes:
-        """Checkpoint all route progress and fired alerts (routes are
-        constructor state and come back with the rebuilt instance)."""
-        writer = ByteWriter()
-        writer.varint(len(self.progress))
-        for tag in sorted(self.progress):
-            state = self.progress[tag]
-            write_epc(writer, tag)
-            writer.varint(state.position)
-            writer.varint(1 if state.deviated else 0)
-            writer.varint(len(state.history))
-            for site in state.history:
-                writer.svarint(site)
-        writer.varint(len(self.alerts))
-        for alert in self.alerts:
-            write_epc(writer, alert.tag)
-            writer.varint(alert.time)
-            writer.svarint(alert.site)
-            writer.varint(len(alert.expected))
-            for site in alert.expected:
-                writer.svarint(site)
-        return writer.getvalue()
-
-    def restore_state(self, data: bytes) -> None:
-        reader = ByteReader(data)
-        try:
-            progress: dict[EPC, _RouteProgress] = {}
-            for _ in range(reader.varint()):
-                tag = read_epc(reader)
-                position = reader.varint()
-                deviated = bool(reader.varint())
-                history = [reader.svarint() for _ in range(reader.varint())]
-                progress[tag] = _RouteProgress(position, deviated, history)
-            alerts: list[DeviationAlert] = []
-            for _ in range(reader.varint()):
-                tag = read_epc(reader)
-                time = reader.varint()
-                site = reader.svarint()
-                expected = tuple(reader.svarint() for _ in range(reader.varint()))
-                alerts.append(DeviationAlert(tag, time, site, expected))
-        except EOFError as exc:
-            raise ValueError(f"malformed tracking snapshot: {exc}") from exc
-        self.progress = progress
-        self.alerts = alerts
+        return self._automaton.path_of(tag)

@@ -6,9 +6,13 @@ needs to resume *exactly* where it was at an interval boundary:
 * **inference state** — containment estimates, change floors, migrated
   priors, each object's latest run weights, seeded-only marks, critical
   regions, detected change points, and the calibrated change threshold;
-* **query state** — one blob per registered query via its
-  ``snapshot_state`` hook (automaton states, alert logs, operator
-  tables — see :mod:`repro.streams.state` and :mod:`repro.queries`);
+* **query state** — one blob per registered query via the
+  :class:`~repro.queries.protocol.QueryState` protocol's
+  ``snapshot_state`` hook. Compiled plans serialize themselves
+  generically — each stateful operator (pattern automata with alert
+  logs, window relations) appends one self-delimiting section — so any
+  declarative query checkpoints without bespoke code (see
+  :mod:`repro.queries.compiler` and :mod:`repro.streams.state`);
 * **cursors** — the arrival-detection ``seen`` set, the sensor-stream
   position, absorbed migrations, and the at-least-once delivery
   cursors (per-link next sequence numbers and applied-sequence sets),

@@ -57,6 +57,7 @@ from repro.runtime.envelope import (
     encode_single_query_state,
     encode_state_bundle,
 )
+from repro.queries.compiler import QueryEngine
 from repro.runtime.router import QueryRouter
 from repro.runtime.transport import Transport
 from repro.sim.tags import EPC
@@ -89,6 +90,13 @@ class SiteNode:
         self.service = StreamingInference(trace, config)
         self.batch_migrations = batch_migrations
         self.queries: dict[str, Any] = {}
+        #: the site's shared operator runtime: declarative queries are
+        #: compiled into it, with identical local sub-plans instantiated
+        #: once across all registered queries.
+        self.engine = QueryEngine()
+        #: names of queries dispatched through the engine (their tuples
+        #: must be pushed once into the engine, not once per query).
+        self._engine_queries: set[str] = set()
         self.router = QueryRouter(self.queries)
         #: tags this site has ever observed (arrival detection).
         self.seen: set[EPC] = set()
@@ -127,14 +135,25 @@ class SiteNode:
         The trace (durable storage), sensor stream, and transport
         binding survive — a restarted site re-reads those — but the
         inference service, cursors, and delivery state do not. Pass
-        fresh ``queries`` instances to lose query state too (the
+        fresh ``queries`` instances to replace the registered ones (the
         cluster rebuilds them from its registered factories); without
-        them the existing instances are kept as-is.
+        them the existing instances stay registered. Either way the
+        compiled operator DAG is rebuilt and every declarative query is
+        recompiled into it with empty automata — a restart loses query
+        state like any other volatile state; :meth:`restore` repopulates
+        it from the checkpoint. Hand-written (non-declarative) query
+        instances are not touched unless replaced.
         """
         self.service = StreamingInference(self.trace, self.config)
         if queries is not None:
             self.queries.clear()
             self.queries.update(queries)
+        self.engine = QueryEngine()
+        self._engine_queries = set()
+        for name, query in self.queries.items():
+            # Rebinds don't re-count the ledger's operator gauges: the
+            # site's registered plans are unchanged, only rebuilt.
+            self._bind_query(name, query, account=False)
         self.seen = set()
         self.migrations_in = []
         self._pending_handoffs = []
@@ -165,9 +184,38 @@ class SiteNode:
         restore_site_checkpoint(self, data)
 
     def add_query(self, name: str, query: Any) -> None:
-        """Register a continuous query (its state migrates if it exposes
-        ``export_state``/``import_state``)."""
+        """Register a continuous query.
+
+        Declarative facades (anything exposing a ``spec`` and ``bind``)
+        are compiled into the site's shared :class:`QueryEngine`, where
+        identical local sub-plans across queries are instantiated once;
+        other objects are dispatched directly. State migrates if the
+        query implements the
+        :class:`~repro.queries.protocol.QueryState` hooks.
+        """
         self.queries[name] = query
+        self._bind_query(name, query)
+
+    def _bind_query(self, name: str, query: Any, account: bool = True) -> None:
+        """Compile a declarative query into the shared engine and, for
+        first-time registrations, surface the sharing gauges in the
+        communication ledger (crash-recovery rebinds pass
+        ``account=False`` so one site never counts its plans twice)."""
+        bind = getattr(query, "bind", None)
+        if bind is None or getattr(query, "spec", None) is None:
+            return
+        built_before = self.engine.operators_built
+        shared_before = self.engine.operators_shared
+        bind(self.engine)
+        self._engine_queries.add(name)
+        if account and self._transport is not None:
+            ledger = self._transport.ledger
+            ledger.plan_operators_built += (
+                self.engine.operators_built - built_before
+            )
+            ledger.plan_operators_shared += (
+                self.engine.operators_shared - shared_before
+            )
 
     def set_sensor_stream(self, readings: Iterable[Any]) -> None:
         """Provide this site's (time-sorted) sensor stream for queries."""
@@ -199,9 +247,20 @@ class SiteNode:
         self._sensor_pos = hi
         if not self.queries or (not events and not sensors):
             return
+        engine = self.engine if self._engine_queries else None
+        direct = [
+            query
+            for name, query in self.queries.items()
+            if name not in self._engine_queries
+        ]
         # Sensors first at equal timestamps, as the stream engine does.
+        # Each tuple enters the shared engine exactly once — the DAG
+        # fans it out to every compiled plan — then goes to any
+        # hand-written queries directly.
         for item in merge_by_time(sensors, events):
-            for query in self.queries.values():
+            if engine is not None:
+                engine.push(item)
+            for query in direct:
                 if isinstance(item, ObjectEvent):
                     query.on_event(item)
                 else:

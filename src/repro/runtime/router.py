@@ -1,22 +1,20 @@
 """Federated query routing: migrating per-object query state (§4.2).
 
-The outer blocks of the monitoring queries (Q1/Q2's ``SEQ(A+)``
-patterns, the tracking query's route progress) consume the *global*
-event stream, so their per-object state must follow the object between
-sites (Appendix B). The :class:`QueryRouter` is the piece that finally
-wires the queries' existing ``export_state``/``import_state`` hooks
-into the deployment: on departure it collects each registered query's
-byte state for the migrating objects; on arrival it routes the decoded
-states back into the matching query instances.
+The global blocks of the monitoring queries (``SEQ(A+)`` patterns,
+the tracking query's route progress) consume the *global* event
+stream, so their per-object state must follow the object between sites
+(Appendix B). The :class:`QueryRouter` wires the uniform
+:class:`~repro.queries.protocol.QueryState` protocol into the
+deployment: on departure it collects each registered query's byte
+state for the migrating objects; on arrival it routes the decoded
+states back into the matching query instances. Every compiled plan
+(and therefore every declarative facade) implements the protocol
+generically — the router never sees per-query codecs.
 
-A query participates by exposing::
-
-    export_state(tag) -> bytes | None   # None: no state for this object
-    import_state(tag, data: bytes)      # merge/adopt a migrated state
-
-which :class:`~repro.queries.q1.FreezerExposureQuery`,
-:class:`~repro.queries.q2.TemperatureExposureQuery`, and
-:class:`~repro.queries.tracking.PathDeviationQuery` all do.
+Migration uses the ``export_state``/``import_state`` half of the
+protocol (``None`` meaning "no state for this object"); site
+checkpoints use the ``snapshot_state``/``restore_state`` half, which
+is mandatory for registered queries (see :meth:`snapshot_queries`).
 """
 
 from __future__ import annotations

@@ -18,29 +18,59 @@ __all__ = ["StreamScheduler", "merge_by_time"]
 def merge_by_time(*streams: Iterable[Any]) -> Iterator[Any]:
     """Merge time-sorted streams into one time-sorted stream.
 
-    Ties are broken by stream index, keeping the merge stable (sensor
-    readings registered before object events at the same epoch if passed
-    first)."""
+    Tie-break contract (explicit, relied upon by callers): the merge is
+    *stable*. At equal timestamps, tuples from an earlier argument
+    stream precede tuples from a later one, and tuples within one
+    stream keep their original order. The site runtime passes
+    ``(sensors, events)`` so same-epoch sensor readings land in window
+    tables before the object events that probe them.
+    """
     return heapq.merge(*streams, key=lambda item: item.time)
 
 
 class StreamScheduler:
-    """Routes merged tuples to per-type handlers."""
+    """Routes merged tuples to per-type handlers.
+
+    Dispatch is O(handlers actually interested), not O(registered
+    routes): the first tuple of each exact type resolves its handler
+    list by one isinstance-compatible scan (``issubclass``, so
+    subclasses still match routes registered on a base class) and the
+    result is cached in a kind → handlers map; every later tuple of
+    that type is a dictionary hit.
+    """
 
     def __init__(self) -> None:
         self._routes: list[tuple[type, Callable[[Any], None]]] = []
+        self._dispatch: dict[type, tuple[Callable[[Any], None], ...]] = {}
 
     def route(self, kind: type, handler: Callable[[Any], None]) -> "StreamScheduler":
-        """Send tuples of ``kind`` (isinstance match) to ``handler``."""
+        """Send tuples of ``kind`` (isinstance semantics) to ``handler``."""
         self._routes.append((kind, handler))
+        # A new route may match types already cached; rebuild lazily.
+        self._dispatch.clear()
         return self
+
+    def handlers_for(self, kind: type) -> tuple[Callable[[Any], None], ...]:
+        """The cached handler chain for one exact tuple type."""
+        handlers = self._dispatch.get(kind)
+        if handlers is None:
+            handlers = tuple(
+                handler for route_kind, handler in self._routes
+                if issubclass(kind, route_kind)
+            )
+            self._dispatch[kind] = handlers
+        return handlers
 
     def run(self, *streams: Iterable[Any]) -> int:
         """Drain the merged streams; returns tuples processed."""
         count = 0
+        dispatch = self._dispatch
         for item in merge_by_time(*streams):
-            for kind, handler in self._routes:
-                if isinstance(item, kind):
-                    handler(item)
+            kind = type(item)
+            handlers = dispatch.get(kind)
+            if handlers is None:
+                handlers = self.handlers_for(kind)
+            for handler in handlers:
+                handler(item)
             count += 1
         return count

@@ -9,34 +9,63 @@ paper's monitoring queries use:
   holding the newest tuple per key;
 * ``NowJoin`` — the ``[Now]`` window joined against such a relation
   (each arriving stream tuple probes the table, Rstream semantics).
+
+**Subscription priorities.** ``subscribe`` takes an optional integer
+priority; lower priorities see each tuple first, ties preserve
+subscription order. The plan compiler uses this to give ``[Now]`` join
+probes CQL's pre-update semantics when the probe side and the build
+side of a join share an upstream operator: joins subscribe at the
+default priority 0, window *updates* at :data:`WINDOW_UPDATE_PRIORITY`,
+so a tuple probes the relation as of the previous instant before being
+folded into it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, Hashable, TypeVar
+from typing import TYPE_CHECKING, Any, Callable, Generic, Hashable, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro._util.encoding import ByteReader, ByteWriter
+    from repro.streams.state import RowCodec
 
 T = TypeVar("T")
 U = TypeVar("U")
 
-__all__ = ["Operator", "Filter", "Map", "LatestByKey", "NowJoin"]
+__all__ = [
+    "Operator",
+    "Filter",
+    "Map",
+    "LatestByKey",
+    "NowJoin",
+    "WINDOW_UPDATE_PRIORITY",
+]
+
+#: priority window updates subscribe at (after default-0 subscribers),
+#: giving join probes the pre-update relation at equal instants.
+WINDOW_UPDATE_PRIORITY = 1
 
 
 class Operator(Generic[T]):
     """Base class wiring push-based subscription."""
 
     def __init__(self) -> None:
-        self._subscribers: list[Callable[[Any], None]] = []
+        #: (priority, sequence, sink) kept sorted; sequence breaks ties
+        #: by subscription order.
+        self._subscribers: list[tuple[int, int, Callable[[Any], None]]] = []
+        self._sub_seq = 0
 
-    def subscribe(self, sink: "Operator | Callable[[Any], None]") -> "Operator":
+    def subscribe(
+        self, sink: "Operator | Callable[[Any], None]", priority: int = 0
+    ) -> "Operator":
         """Register a downstream operator (or plain callable)."""
-        if isinstance(sink, Operator):
-            self._subscribers.append(sink.push)
-        else:
-            self._subscribers.append(sink)
+        target = sink.push if isinstance(sink, Operator) else sink
+        self._subscribers.append((priority, self._sub_seq, target))
+        self._sub_seq += 1
+        self._subscribers.sort(key=lambda entry: entry[:2])
         return self
 
     def emit(self, item: Any) -> None:
-        for sink in self._subscribers:
+        for _, _, sink in self._subscribers:
             sink(item)
 
     def push(self, item: T) -> None:  # pragma: no cover - abstract
@@ -67,11 +96,22 @@ class Map(Operator[T]):
 
 
 class LatestByKey(Operator[T]):
-    """``[Partition By key Rows 1]``: newest tuple per key, as a table."""
+    """``[Partition By key Rows 1]``: newest tuple per key, as a table.
 
-    def __init__(self, key_fn: Callable[[T], Hashable]) -> None:
+    When built by the plan compiler the window carries a
+    :class:`~repro.streams.state.RowCodec` so site checkpoints can
+    serialize the relation exactly (rows sorted by key); a window built
+    by hand stays checkpoint-free until one is attached.
+    """
+
+    def __init__(
+        self,
+        key_fn: Callable[[T], Hashable],
+        codec: "RowCodec | None" = None,
+    ) -> None:
         super().__init__()
         self.key_fn = key_fn
+        self.codec = codec
         self.table: dict[Hashable, T] = {}
 
     def push(self, item: T) -> None:
@@ -83,6 +123,28 @@ class LatestByKey(Operator[T]):
 
     def __len__(self) -> int:
         return len(self.table)
+
+    # -- checkpoint hooks (QueryState sections) -----------------------------
+
+    def write_snapshot(self, writer: "ByteWriter") -> None:
+        """Append the relation to a checkpoint: count, then rows in
+        sorted key order (the wire layout Q1's hand-written snapshot
+        established)."""
+        if self.codec is None:
+            raise ValueError("window has no row codec; cannot checkpoint")
+        writer.varint(len(self.table))
+        for key in sorted(self.table):
+            self.codec.write(writer, self.table[key])
+
+    def read_snapshot(self, reader: "ByteReader") -> None:
+        """Inverse of :meth:`write_snapshot` (replaces the table)."""
+        if self.codec is None:
+            raise ValueError("window has no row codec; cannot restore")
+        table: dict[Hashable, T] = {}
+        for _ in range(reader.varint()):
+            row = self.codec.read(reader)
+            table[self.key_fn(row)] = row
+        self.table = table
 
 
 class NowJoin(Operator[T]):

@@ -69,6 +69,14 @@ class KleeneDurationPattern(Operator):
     refire_gap:
         After firing, suppress further alerts for the same run; a new
         run starts after a reset. ``None`` fires at most once per run.
+    max_gap:
+        Treat a silence longer than ``max_gap`` between consecutive
+        qualifying events as a run break: the stale partial (or fired)
+        state resets and the arriving event starts a fresh run. ``None``
+        (the default, used by Q1/Q2) keeps runs alive across any gap —
+        those queries break runs explicitly via :meth:`reset_key`.
+        Dwell-style monitors, whose partitions simply stop receiving
+        events when the object moves away, rely on it instead.
     """
 
     def __init__(
@@ -79,6 +87,7 @@ class KleeneDurationPattern(Operator):
         duration: int,
         max_values: int = 64,
         refire_gap: int | None = None,
+        max_gap: int | None = None,
     ) -> None:
         super().__init__()
         self.key_fn = key_fn
@@ -87,6 +96,7 @@ class KleeneDurationPattern(Operator):
         self.duration = duration
         self.max_values = max_values
         self.refire_gap = refire_gap
+        self.max_gap = max_gap
         self.states: dict[Hashable, PatternState] = {}
         self.alerts: list[PatternAlert] = []
 
@@ -101,6 +111,12 @@ class KleeneDurationPattern(Operator):
         key = self.key_fn(event)
         time = self.time_fn(event)
         state = self.state_of(key)
+        if (
+            self.max_gap is not None
+            and state.stage != 0
+            and time > state.last_time + self.max_gap
+        ):
+            state.reset()
         if state.stage == 0:
             state.stage = 1
             state.start_time = time

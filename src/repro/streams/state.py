@@ -6,38 +6,52 @@ n_values (varint) | n × float32``. Table 5.4's byte counts are computed
 on this wire format, and the centroid-based sharing of
 :mod:`repro.distributed.sharing` diffs these byte strings.
 
-The *snapshot* codecs at the bottom serve site checkpoints instead of
-migration: they serialize a whole :class:`KleeneDurationPattern` —
-every partition's automaton state plus the fired-alert log — with
-float64 values. Migration deliberately rounds collected values to
-float32 (Table 5.4's byte budget); a checkpoint must not, because a
-restored site has to reproduce bit-identical alert values to the run
-that never crashed.
+The *snapshot* codecs serve site checkpoints instead of migration: they
+serialize a whole :class:`KleeneDurationPattern` — every partition's
+automaton state plus the fired-alert log — with float64 values.
+Migration deliberately rounds collected values to float32 (Table 5.4's
+byte budget); a checkpoint must not, because a restored site has to
+reproduce bit-identical alert values to the run that never crashed.
+
+Pattern partitions are keyed by :class:`EPC` tags by default (Q1/Q2
+partition by ``tag_id``); compiled plans that partition by a composite
+key — e.g. the dwell monitor's ``(tag, site, place)`` — pass their own
+key codec. :class:`RowCodec` describes whole relation rows field by
+field so ``[Partition By k Rows 1]`` windows can be checkpointed
+generically with the exact layout Q1's hand-written snapshot
+established.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Callable
+
 from repro._util.encoding import ByteReader, ByteWriter
-from repro.sim.tags import EPC, read_epc, write_epc
+from repro.sim.tags import (
+    EPC,
+    read_epc,
+    read_opt_epc,
+    write_epc,
+    write_opt_epc,
+)
 from repro.streams.pattern import KleeneDurationPattern, PatternAlert, PatternState
 
 __all__ = [
     "encode_pattern_state",
     "decode_pattern_state",
+    "write_pattern_state",
+    "read_pattern_state",
     "snapshot_pattern",
     "restore_pattern",
+    "RowCodec",
 ]
 
 
 def encode_pattern_state(state: PatternState) -> bytes:
     """Serialize one object's automaton state."""
     writer = ByteWriter()
-    writer.varint(state.stage)
-    writer.varint(state.start_time)
-    writer.varint(state.last_time)
-    writer.varint(len(state.values))
-    for value in state.values:
-        writer.float32(value)
+    write_pattern_state(writer, state)
     return writer.getvalue()
 
 
@@ -51,13 +65,28 @@ def decode_pattern_state(data: bytes) -> PatternState:
 
     reader = ByteReader(data)
     try:
-        stage = reader.varint()
-        start_time = reader.varint()
-        last_time = reader.varint()
-        count = reader.varint()
-        values = [reader.float32() for _ in range(count)]
+        state = read_pattern_state(reader)
     except (EOFError, struct.error, IndexError) as exc:
         raise ValueError(f"malformed pattern state: {exc}") from exc
+    return state
+
+
+def write_pattern_state(writer: ByteWriter, state: PatternState) -> None:
+    """Append one migration-grade (float32) automaton state."""
+    writer.varint(state.stage)
+    writer.varint(state.start_time)
+    writer.varint(state.last_time)
+    writer.varint(len(state.values))
+    for value in state.values:
+        writer.float32(value)
+
+
+def read_pattern_state(reader: ByteReader) -> PatternState:
+    """Inverse of :func:`write_pattern_state` (validates the stage)."""
+    stage = reader.varint()
+    start_time = reader.varint()
+    last_time = reader.varint()
+    values = [reader.float32() for _ in range(reader.varint())]
     if stage > 2:
         raise ValueError(f"malformed pattern state: stage {stage} out of range")
     return PatternState(stage, start_time, last_time, values)
@@ -66,17 +95,21 @@ def decode_pattern_state(data: bytes) -> PatternState:
 # -- whole-operator snapshots (site checkpoints) ---------------------------
 
 
-def snapshot_pattern(pattern: KleeneDurationPattern) -> bytes:
+def snapshot_pattern(
+    pattern: KleeneDurationPattern,
+    write_key: Callable[[ByteWriter, Any], None] = write_epc,
+) -> bytes:
     """Serialize every partition's state and the alert log, exactly.
 
-    Partition keys must be :class:`EPC` tags (true for Q1/Q2, which
-    partition by ``tag_id``).
+    ``write_key`` encodes one partition key; the default handles the
+    plain :class:`EPC` keys of Q1/Q2 and keeps their checkpoint bytes
+    identical to the original hand-written format.
     """
     writer = ByteWriter()
     writer.varint(len(pattern.states))
     for key in sorted(pattern.states):
         state = pattern.states[key]
-        write_epc(writer, key)
+        write_key(writer, key)
         writer.varint(state.stage)
         writer.varint(state.start_time)
         writer.varint(state.last_time)
@@ -85,7 +118,7 @@ def snapshot_pattern(pattern: KleeneDurationPattern) -> bytes:
             writer.float64(value)
     writer.varint(len(pattern.alerts))
     for alert in pattern.alerts:
-        write_epc(writer, alert.key)
+        write_key(writer, alert.key)
         writer.varint(alert.start_time)
         writer.varint(alert.end_time)
         writer.varint(len(alert.values))
@@ -94,15 +127,19 @@ def snapshot_pattern(pattern: KleeneDurationPattern) -> bytes:
     return writer.getvalue()
 
 
-def restore_pattern(pattern: KleeneDurationPattern, data: bytes) -> None:
+def restore_pattern(
+    pattern: KleeneDurationPattern,
+    data: bytes,
+    read_key: Callable[[ByteReader], Any] = read_epc,
+) -> None:
     """Inverse of :func:`snapshot_pattern` (replaces states and alerts)."""
     import struct
 
     reader = ByteReader(data)
     try:
-        states: dict[EPC, PatternState] = {}
+        states: dict[Any, PatternState] = {}
         for _ in range(reader.varint()):
-            key = read_epc(reader)
+            key = read_key(reader)
             stage = reader.varint()
             start_time = reader.varint()
             last_time = reader.varint()
@@ -112,7 +149,7 @@ def restore_pattern(pattern: KleeneDurationPattern, data: bytes) -> None:
             states[key] = PatternState(stage, start_time, last_time, values)
         alerts: list[PatternAlert] = []
         for _ in range(reader.varint()):
-            key = read_epc(reader)
+            key = read_key(reader)
             start_time = reader.varint()
             end_time = reader.varint()
             values = tuple(reader.float64() for _ in range(reader.varint()))
@@ -121,3 +158,45 @@ def restore_pattern(pattern: KleeneDurationPattern, data: bytes) -> None:
         raise ValueError(f"malformed pattern snapshot: {exc}") from exc
     pattern.states = states
     pattern.alerts = alerts
+
+
+# -- relation rows (window checkpoints) ------------------------------------
+
+#: field kind → (writer method taking (ByteWriter, value), reader method).
+_FIELD_CODECS: dict[str, tuple[Callable, Callable]] = {
+    "varint": (lambda w, v: w.varint(v), lambda r: r.varint()),
+    "svarint": (lambda w, v: w.svarint(v), lambda r: r.svarint()),
+    "float64": (lambda w, v: w.float64(v), lambda r: r.float64()),
+    "float32": (lambda w, v: w.float32(v), lambda r: r.float32()),
+    "epc": (write_epc, read_epc),
+    "opt_epc": (write_opt_epc, read_opt_epc),
+}
+
+
+@dataclass(frozen=True)
+class RowCodec:
+    """Field-by-field wire codec for one relation row type.
+
+    ``fields`` maps attribute names to primitive kinds (``varint``,
+    ``svarint``, ``float64``, ``float32``, ``epc``, ``opt_epc``);
+    ``row`` is the tuple class rebuilt on decode. Declared in query
+    specs so checkpointing a window never needs per-query code.
+    """
+
+    fields: tuple[tuple[str, str], ...]
+    row: type
+
+    def __post_init__(self) -> None:
+        for name, kind in self.fields:
+            if kind not in _FIELD_CODECS:
+                raise ValueError(f"unknown field kind {kind!r} for {name!r}")
+
+    def write(self, writer: ByteWriter, item: Any) -> None:
+        for name, kind in self.fields:
+            _FIELD_CODECS[kind][0](writer, getattr(item, name))
+
+    def read(self, reader: ByteReader) -> Any:
+        return self.row(*(_FIELD_CODECS[kind][1](reader) for _, kind in self.fields))
+
+    def signature(self) -> tuple:
+        return ("rowcodec", self.fields, self.row.__qualname__)

@@ -6,6 +6,9 @@
   database").
 * :mod:`repro.workloads.scenarios` — scripted scenarios: the Fig. 4
   evidence journey and the cold-chain deployment exercising Q1/Q2.
+* :mod:`repro.workloads.monitors` — further monitoring scenarios
+  written as declarative query specs (dwell-time violations,
+  co-location breaches).
 """
 
 from repro.workloads.catalog import ProductCatalog
@@ -18,8 +21,22 @@ from repro.workloads.scenarios import (
 
 __all__ = [
     "ColdChainScenario",
+    "ColocationBreachQuery",
+    "DwellTimeQuery",
     "EvidenceScenario",
     "ProductCatalog",
     "cold_chain_scenario",
     "evidence_scenario",
 ]
+
+_MONITOR_EXPORTS = {"ColocationBreachQuery", "DwellTimeQuery"}
+
+
+def __getattr__(name: str):
+    # Lazy: monitors import the query compiler, which imports this
+    # package's catalog module — importing eagerly here would cycle.
+    if name in _MONITOR_EXPORTS:
+        from repro.workloads import monitors
+
+        return getattr(monitors, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

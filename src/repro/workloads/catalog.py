@@ -33,9 +33,20 @@ class ProductCatalog:
     def register_freezer_case(self, case: EPC, items: list[EPC]) -> None:
         """Mark a case as a freezer case full of frozen products."""
         self.freezer_cases.add(case)
+        self.product_types[case] = "frozen"
         for item in items:
             self.frozen_items.add(item)
             self.product_types[item] = "frozen"
+
+    def register_typed_case(
+        self, case: EPC, items: list[EPC], product_type: str
+    ) -> None:
+        """Catalog a case of uniform product type (e.g. ``"chemical"``),
+        for attribute joins like the co-location monitor's type-conflict
+        predicate."""
+        self.product_types[case] = product_type
+        for item in items:
+            self.product_types[item] = product_type
 
     def product_type(self, tag: EPC) -> str:
         return self.product_types.get(tag, "dry")

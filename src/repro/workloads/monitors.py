@@ -1,0 +1,192 @@
+"""New monitoring scenarios written as specs, not subsystems.
+
+The point of the declarative query layer: a new monitoring scenario is
+a handful of AST nodes reusing the existing operator runtime — it gets
+multi-query sharing, per-object state migration, and site checkpoints
+for free. Two monitors ship here:
+
+* :class:`DwellTimeQuery` — "report any object that has sat in one
+  storage location longer than *T*": a ``SEQ(A+)`` block partitioned by
+  ``(tag, site, place)`` whose ``max_gap`` breaks a run once the object
+  stops being read at the location.
+* :class:`ColocationBreachQuery` — "report objects sharing a storage
+  location with incompatible goods" (e.g. frozen food next to
+  chemicals): events join the latest occupant per location ([Now] ⋈
+  latest-by-place, probing the pre-update relation so an object never
+  conflicts with itself at its own instant), a catalog type-conflict
+  predicate gates the pattern, and a sustained conflict fires.
+
+Both are federation-ready: their per-object automaton state migrates
+with the objects exactly like Q1/Q2's, and their windows checkpoint
+through the same :class:`~repro.queries.protocol.QueryState` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.events import ObjectEvent
+from repro.queries.compiler import CompiledPattern, DeclarativeQuery
+from repro.queries.spec import (
+    JoinLatest,
+    KindIs,
+    KleeneDuration,
+    Latest,
+    Not,
+    QuerySpec,
+    Stream,
+    TypeConflict,
+    Where,
+)
+from repro.sim.tags import EPC, TagKind
+from repro.streams.pattern import KleeneDurationPattern
+from repro.streams.state import RowCodec
+from repro.workloads.catalog import ProductCatalog
+
+__all__ = [
+    "EVENT_CODEC",
+    "DwellTimeQuery",
+    "ColocationBreachQuery",
+    "dwell_time_spec",
+    "colocation_breach_spec",
+]
+
+#: wire layout of one object event in window checkpoints (the
+#: co-location monitor's latest-occupant relation).
+EVENT_CODEC = RowCodec(
+    fields=(
+        ("time", "varint"),
+        ("tag", "epc"),
+        ("site", "svarint"),
+        ("place", "varint"),
+        ("container", "opt_epc"),
+    ),
+    row=ObjectEvent,
+)
+
+
+def dwell_time_spec(
+    max_dwell: int,
+    kind: TagKind = TagKind.CASE,
+    max_gap: int = 60,
+    name: str = "dwell",
+) -> QuerySpec:
+    """Dwell-time violation: ``kind``-level objects read at one
+    ``(site, place)`` for a span exceeding ``max_dwell``.
+
+    ``max_gap`` is the silence that ends a visit: once the object stops
+    being read at the location for longer than it, the next sighting
+    starts a fresh visit instead of extending a stale one.
+    """
+    monitored = Where(Stream("events"), KindIs(kind))
+    pattern = KleeneDuration(
+        monitored,
+        key=("tag", "site", "place"),
+        time="time",
+        value="place",
+        duration=max_dwell,
+        max_gap=max_gap,
+    )
+    return QuerySpec(name, pattern, labels={"pattern": pattern})
+
+
+class DwellTimeQuery(DeclarativeQuery):
+    """Dwell-time violation monitor (a compiled-plan facade)."""
+
+    def __init__(
+        self,
+        max_dwell: int,
+        kind: TagKind = TagKind.CASE,
+        max_gap: int = 60,
+    ) -> None:
+        self.max_dwell = max_dwell
+        super().__init__(dwell_time_spec(max_dwell, kind=kind, max_gap=max_gap))
+
+    @property
+    def pattern(self) -> KleeneDurationPattern:
+        block: CompiledPattern = self._plan.labels["pattern"]
+        return block.pattern
+
+    def violations(self) -> list[tuple[EPC, int, int, int]]:
+        """(tag, site, place, alert time) for every fired violation."""
+        return [
+            (alert.key[0], alert.key[1], alert.key[2], alert.end_time)
+            for alert in self.alerts
+        ]
+
+
+#: join projection for the co-location monitor: the probing event's
+#: identity/location plus the latest previous occupant's tag.
+_COLOCATION_SELECT = (
+    ("time", "left.time"),
+    ("tag", "left.tag"),
+    ("site", "left.site"),
+    ("place", "left.place"),
+    ("other", "right.tag"),
+)
+
+
+def colocation_breach_spec(
+    catalog: ProductCatalog,
+    conflicts: Iterable[Iterable[str]] = (("frozen", "chemical"),),
+    duration: int = 60,
+    max_gap: int = 60,
+    name: str = "colocation",
+) -> QuerySpec:
+    """Co-location breach: an object sharing a storage location with an
+    incompatible product type for longer than ``duration``.
+
+    ``conflicts`` lists unordered product-type pairs (from the
+    manufacturer's catalog) that must not share a location.
+    """
+    normalized = frozenset(frozenset(pair) for pair in conflicts)
+    events = Stream("events")
+    occupancy = Latest(events, key=("site", "place"), codec=EVENT_CODEC)
+    joined = JoinLatest(
+        events, occupancy, probe=("site", "place"), select=_COLOCATION_SELECT
+    )
+    conflict = TypeConflict(catalog, normalized)
+    breach = Where(joined, conflict)
+    clear = Where(joined, Not(conflict))
+    pattern = KleeneDuration(
+        breach,
+        key=("tag", "site", "place"),
+        time="time",
+        value="place",
+        duration=duration,
+        resets=(clear,),
+        max_gap=max_gap,
+    )
+    return QuerySpec(
+        name, pattern, labels={"pattern": pattern, "occupancy": occupancy}
+    )
+
+
+class ColocationBreachQuery(DeclarativeQuery):
+    """Co-location breach monitor (a compiled-plan facade)."""
+
+    def __init__(
+        self,
+        catalog: ProductCatalog,
+        conflicts: Iterable[Iterable[str]] = (("frozen", "chemical"),),
+        duration: int = 60,
+        max_gap: int = 60,
+    ) -> None:
+        self.catalog = catalog
+        super().__init__(
+            colocation_breach_spec(
+                catalog, conflicts, duration=duration, max_gap=max_gap
+            )
+        )
+
+    @property
+    def pattern(self) -> KleeneDurationPattern:
+        block: CompiledPattern = self._plan.labels["pattern"]
+        return block.pattern
+
+    def breaches(self) -> list[tuple[EPC, int, int, int]]:
+        """(tag, site, place, alert time) for every fired breach."""
+        return [
+            (alert.key[0], alert.key[1], alert.key[2], alert.end_time)
+            for alert in self.alerts
+        ]

@@ -6,7 +6,13 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.streams.engine import StreamScheduler, merge_by_time
-from repro.streams.operators import Filter, LatestByKey, Map, NowJoin
+from repro.streams.operators import (
+    WINDOW_UPDATE_PRIORITY,
+    Filter,
+    LatestByKey,
+    Map,
+    NowJoin,
+)
 from repro.streams.pattern import KleeneDurationPattern, PatternState
 from repro.streams.state import decode_pattern_state, encode_pattern_state
 
@@ -63,6 +69,17 @@ class TestScheduler:
         merged = list(merge_by_time(a, b))
         assert [t.time for t in merged] == [0, 1, 3, 4]
 
+    def test_merge_tie_break_is_stable(self):
+        """The documented contract: at equal timestamps, the earlier
+        argument stream wins; within a stream, original order holds."""
+        a = [Tick(5, "a1", 0), Tick(5, "a2", 0)]
+        b = [Tick(5, "b1", 0), Tick(5, "b2", 0)]
+        merged = list(merge_by_time(a, b))
+        assert [t.key for t in merged] == ["a1", "a2", "b1", "b2"]
+        # And swapping the argument order swaps the winner.
+        merged = list(merge_by_time(b, a))
+        assert [t.key for t in merged] == ["b1", "b2", "a1", "a2"]
+
     def test_routes_by_type(self):
         class Other(NamedTuple):
             time: int
@@ -74,6 +91,71 @@ class TestScheduler:
         n = sched.run([Tick(0, "a", 0), Tick(2, "a", 0)], [Other(1)])
         assert n == 3
         assert len(ticks) == 2 and len(others) == 1
+
+    def test_dispatch_cache_handles_subclasses(self):
+        class Special(Tick):
+            pass
+
+        base_hits, special_hits = [], []
+        sched = StreamScheduler()
+        sched.route(Tick, base_hits.append)
+        sched.route(Special, special_hits.append)
+        sched.run([Tick(0, "a", 0), Special(1, "b", 0)])
+        # A Special tuple matches both routes (isinstance semantics);
+        # a plain Tick matches only the base route.
+        assert len(base_hits) == 2
+        assert len(special_hits) == 1
+        # The resolved chains are cached per exact type.
+        assert len(sched.handlers_for(Tick)) == 1
+        assert len(sched.handlers_for(Special)) == 2
+
+    def test_late_route_invalidates_cache(self):
+        first, second = [], []
+        sched = StreamScheduler()
+        sched.route(Tick, first.append)
+        sched.run([Tick(0, "a", 0)])  # caches Tick → (first,)
+        sched.route(Tick, second.append)
+        sched.run([Tick(1, "a", 0)])
+        assert len(first) == 2 and len(second) == 1
+
+    def test_unrouted_types_are_counted_but_dropped(self):
+        class Other(NamedTuple):
+            time: int
+
+        sched = StreamScheduler()
+        hits = []
+        sched.route(Tick, hits.append)
+        assert sched.run([Other(0)], [Tick(1, "a", 0)]) == 2
+        assert len(hits) == 1
+
+
+class TestSubscriptionPriority:
+    def test_priority_orders_delivery(self):
+        seen = []
+        source = Map(lambda t: t)
+        source.subscribe(lambda t: seen.append("late"), priority=1)
+        source.subscribe(lambda t: seen.append("early"))  # default 0
+        source.subscribe(lambda t: seen.append("early2"))
+        source.push(Tick(0, "a", 0))
+        assert seen == ["early", "early2", "late"]
+
+    def test_join_probes_pre_update_relation(self):
+        """With the window update at low priority, a tuple probing a
+        window built from the same stream sees the *previous* row —
+        CQL's pre-update [Now] semantics."""
+        out = []
+        source = Map(lambda t: t)
+        table = LatestByKey(lambda t: t.key)
+        join = NowJoin(
+            table, probe_key=lambda t: t.key,
+            combine=lambda left, right: (left.time, right.time),
+        )
+        join.subscribe(out.append)
+        source.subscribe(join)
+        source.subscribe(table, priority=WINDOW_UPDATE_PRIORITY)
+        source.push(Tick(1, "a", 0))  # no previous row: probe misses
+        source.push(Tick(2, "a", 0))  # sees the t=1 row
+        assert out == [(2, 1)]
 
 
 class TestPattern:
@@ -122,6 +204,28 @@ class TestPattern:
         pattern = self.make(duration=5)
         for time in (0, 6, 7, 8):
             pattern.push(Tick(time, "x", 1.0))
+        assert len(pattern.alerts) == 1
+
+    def test_max_gap_breaks_stale_runs(self):
+        pattern = KleeneDurationPattern(
+            key_fn=lambda t: t.key,
+            time_fn=lambda t: t.time,
+            value_fn=lambda t: t.value,
+            duration=10,
+            max_gap=20,
+        )
+        pattern.push(Tick(0, "x", 1.0))
+        pattern.push(Tick(50, "x", 2.0))  # gap 50 > 20: fresh run at 50
+        assert pattern.alerts == []
+        assert pattern.state_of("x").start_time == 50
+        pattern.push(Tick(61, "x", 3.0))  # span 11 from the restart
+        assert len(pattern.alerts) == 1
+        assert pattern.alerts[0].start_time == 50
+
+    def test_max_gap_none_keeps_runs_alive(self):
+        pattern = self.make(duration=10)
+        pattern.push(Tick(0, "x", 1.0))
+        pattern.push(Tick(500, "x", 2.0))  # default: any silence is fine
         assert len(pattern.alerts) == 1
 
     def test_max_values_caps_state(self):
