@@ -10,12 +10,26 @@ factor, where crossovers fall — are the reproduction targets.
 Results are printed through ``sys.__stdout__`` (bypassing pytest's
 capture so they land in ``bench_output.txt``) and archived under
 ``benchmarks/results/``.
+
+The gated benches (throughput, query-state, serving) share one CLI
+shape — ``--smoke``, ``--output``, ``--baseline``, and a budget flag —
+and one JSON/exit-code protocol, all provided by :func:`bench_cli`.
+Latency gates normalize by :func:`calibration_seconds` (a fixed numpy
+workload timed in-process) so a slower CI runner does not read as a
+regression and a faster one cannot hide a real one — see
+:func:`normalized_latency_failures`.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
 import sys
+import time
+from typing import Callable
+
+import numpy as np
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -41,3 +55,108 @@ def emit_table(name: str, headers: list[str], rows: list[list[object]]) -> None:
 
 def pct(value: float) -> str:
     return f"{100.0 * value:.2f}%"
+
+
+def calibration_seconds() -> float:
+    """A fixed numpy workload, timed — the hardware normalizer.
+
+    Regression gates compare ``latency / calibration`` so a slower CI
+    runner does not read as a regression and a faster one cannot hide
+    a real one.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.random((400, 400))
+    started = time.perf_counter()
+    for _ in range(20):
+        a = 0.5 * (a @ a) / np.linalg.norm(a)
+    return time.perf_counter() - started
+
+
+def write_json(path: str, payload: dict) -> None:
+    """Write a bench payload the way every committed baseline is kept."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def normalized_latency_failures(
+    payload: dict,
+    baseline: dict,
+    budget: float,
+    metric: str,
+) -> list[str]:
+    """Compare hardware-normalized latencies point-by-point.
+
+    Each payload ``point`` must carry ``label`` and ``metric``; the
+    payloads carry ``calibration_seconds``. A point missing from the
+    baseline fails loudly — a renamed config must not silently disable
+    the gate.
+    """
+    base_points = {point["label"]: point for point in baseline["points"]}
+    failures: list[str] = []
+    for point in payload["points"]:
+        base = base_points.get(point["label"])
+        if base is None:
+            failures.append(
+                f"{point['label']}: no matching baseline point; "
+                "regenerate the committed baseline"
+            )
+            continue
+        fresh_norm = point[metric] / payload["calibration_seconds"]
+        base_norm = base[metric] / baseline["calibration_seconds"]
+        ratio = fresh_norm / base_norm
+        if ratio > 1.0 + budget:
+            failures.append(
+                f"{point['label']}: normalized {metric} {ratio:.2f}x baseline "
+                f"(budget {1.0 + budget:.2f}x)"
+            )
+    return failures
+
+
+def bench_cli(
+    argv: list[str] | None,
+    *,
+    doc: str,
+    build_payload: Callable[[bool], dict],
+    check: Callable[[dict, str, float], list[str]],
+    default_output: str | None = None,
+    budget_flag: str = "--max-regression",
+    budget_default: float = 0.25,
+    budget_help: str = "allowed normalized-latency growth (0.25 = +25%%)",
+    gate_ok: str = "regression gate: within budget",
+) -> int:
+    """The shared smoke/CLI/JSON-emit protocol of the gated benches.
+
+    Parses ``--smoke`` / ``--output`` / ``--baseline`` / the budget
+    flag, builds (and lets the bench emit) the payload, writes the JSON
+    artifact, and runs ``check(payload, baseline_path, budget)`` —
+    printing each failure to stderr and returning a non-zero exit code
+    on regression, exactly as CI expects.
+    """
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument("--smoke", action="store_true", help="reduced sweep for CI")
+    if default_output is None:
+        parser.add_argument("--output", help="write the payload JSON here")
+    else:
+        parser.add_argument("--output", default=default_output)
+    parser.add_argument("--baseline", help="baseline JSON to gate against")
+    budget_dest = budget_flag.lstrip("-").replace("-", "_")
+    parser.add_argument(budget_flag, type=float, default=budget_default, help=budget_help)
+    args = parser.parse_args(argv)
+    payload = build_payload(args.smoke)
+    if args.output:
+        write_json(args.output, payload)
+        print(f"wrote {args.output}")
+    if args.baseline:
+        failures = check(payload, args.baseline, getattr(args, budget_dest))
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(gate_ok)
+    return 0

@@ -1,0 +1,236 @@
+"""Historical-query serving bench — qps, latency, cache, archive cost.
+
+A two-site cold chain runs to its horizon (inference + Q2 monitoring),
+then a :class:`~repro.serving.frontend.QueryFrontend` session issues a
+deterministic mix of historical queries — point location/containment
+(top-k), trajectories, provenance chains, dwell aggregation, and alert
+scans — twice:
+
+* **cold pass** — every query unique, scatter-gathered over the
+  transport (per-query latency measures the full envelope round trip);
+* **warm pass** — the same queries repeated, served by the frontend's
+  epoch-tagged result cache.
+
+Reported per config: cold/warm qps, p50/p95 latency for both passes,
+the cache hit rate, and the archive's serialized bytes per stream
+epoch. ``BENCH_serving.json`` at the repo root is the committed
+baseline; CI runs ``--smoke`` and gates on >25% growth of the
+hardware-normalized **cold p95** (see ``_common.calibration_seconds``).
+The warm pass must sustain ≥ 1 000 queries/sec (the ROADMAP's
+serving-layer floor), asserted by the pytest entry point.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py                 # full run
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke \\
+        --output BENCH_serving.ci.json \\
+        --baseline BENCH_serving.json --max-regression 0.25           # CI gate
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _common import (  # noqa: E402
+    bench_cli,
+    calibration_seconds,
+    emit_table,
+    load_baseline,
+    normalized_latency_failures,
+)
+
+from repro.archive import encode_archive  # noqa: E402
+from repro.core.service import ServiceConfig  # noqa: E402
+from repro.queries.q2 import TemperatureExposureQuery  # noqa: E402
+from repro.runtime import Cluster  # noqa: E402
+from repro.serving import HistoryRequest, QueryFrontend  # noqa: E402
+from repro.workloads.scenarios import cold_chain_scenario  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_serving.json")
+
+HORIZON = 1500
+CONFIG = ServiceConfig(
+    run_interval=300,
+    recent_history=600,
+    truncation="cr",
+    emit_events=True,
+    event_period=5,
+)
+
+
+def build_cluster():
+    scenario = cold_chain_scenario(
+        seed=33,
+        n_sites=2,
+        n_freezer_cases=6,
+        n_room_cases=3,
+        items_per_case=6,
+        n_exposures=4,
+        horizon=HORIZON,
+        site_leave_time=700,
+    )
+    cluster = Cluster(scenario.traces, CONFIG)
+    cluster.add_query(
+        "q2",
+        lambda site: TemperatureExposureQuery(scenario.catalog, exposure_duration=400),
+    )
+    cluster.set_sensor_streams(
+        {site: scenario.sensor_stream(site) for site in range(len(scenario.traces))}
+    )
+    frontend = QueryFrontend(cache_capacity=4096)
+    cluster.attach_frontend(frontend)
+    cluster.run(HORIZON)
+    return scenario, cluster, frontend
+
+
+def query_mix(scenario, smoke: bool) -> list[HistoryRequest]:
+    """A deterministic historical-query workload (unique queries)."""
+    tags = sorted(scenario.catalog.frozen_items)
+    cases = sorted(scenario.catalog.freezer_cases)
+    if smoke:
+        tags, cases = tags[:8], cases[:2]
+    times = list(range(150, HORIZON, 150 if smoke else 75))
+    queries: list[HistoryRequest] = []
+    for tag in tags + cases:
+        for t in times:
+            queries.append(HistoryRequest(0, "location", tag, t))
+            queries.append(HistoryRequest(0, "containment", tag, t, k=3))
+        queries.append(HistoryRequest(0, "trajectory", tag, 0, HORIZON))
+        queries.append(HistoryRequest(0, "provenance", tag, HORIZON - 1))
+        queries.append(HistoryRequest(0, "dwell", tag, 0, HORIZON))
+    queries.append(HistoryRequest(0, "alerts", None, 0, HORIZON, name="q2"))
+    return queries
+
+
+def timed_pass(session, queries) -> tuple[np.ndarray, float]:
+    latencies = np.empty(len(queries))
+    started = time.perf_counter()
+    for index, query in enumerate(queries):
+        t0 = time.perf_counter()
+        session._run(query)
+        latencies[index] = time.perf_counter() - t0
+    return latencies, time.perf_counter() - started
+
+
+def run_bench(smoke: bool) -> dict:
+    scenario, cluster, frontend = build_cluster()
+    try:
+        queries = query_mix(scenario, smoke)
+        session = frontend.session("bench")
+        cold, cold_elapsed = timed_pass(session, queries)
+        warm, warm_elapsed = timed_pass(session, queries)
+        archive_bytes = sum(
+            len(encode_archive(node.archive)) for node in cluster.nodes
+        )
+        return {
+            "label": "cold-chain-2site",
+            "n_queries": len(queries),
+            "archive_rows": sum(node.archive.row_count() for node in cluster.nodes),
+            "archive_bytes": archive_bytes,
+            "archive_bytes_per_epoch": archive_bytes / HORIZON,
+            "qps_cold": len(queries) / cold_elapsed,
+            "qps_warm": len(queries) / warm_elapsed,
+            "latency_p50_cold_seconds": float(np.percentile(cold, 50)),
+            "latency_p95_cold_seconds": float(np.percentile(cold, 95)),
+            "latency_p50_warm_seconds": float(np.percentile(warm, 50)),
+            "latency_p95_warm_seconds": float(np.percentile(warm, 95)),
+            "cache_hit_rate": frontend.stats.hit_rate(),
+            "serving_bytes": sum(
+                count
+                for kind, count in cluster.network.bytes_by_kind.items()
+                if kind.startswith("history-")
+            ),
+        }
+    finally:
+        cluster.close()
+
+
+def build_payload(smoke: bool) -> dict:
+    calibration = calibration_seconds()
+    point = run_bench(smoke)
+    return {
+        "schema_version": 1,
+        "bench": "serving",
+        "smoke": smoke,
+        "calibration_seconds": calibration,
+        "points": [point],
+    }
+
+
+def check_regression(payload: dict, baseline_path: str, budget: float) -> list[str]:
+    """Gate on hardware-normalized cold p95 query latency."""
+    return normalized_latency_failures(
+        payload, load_baseline(baseline_path), budget, "latency_p95_cold_seconds"
+    )
+
+
+def emit(payload: dict) -> None:
+    rows = [
+        [
+            point["label"],
+            point["n_queries"],
+            f"{point['qps_cold']:.0f}",
+            f"{point['qps_warm']:.0f}",
+            f"{point['latency_p95_cold_seconds'] * 1e3:.2f}ms",
+            f"{point['latency_p95_warm_seconds'] * 1e6:.0f}us",
+            f"{point['cache_hit_rate']:.0%}",
+            f"{point['archive_bytes_per_epoch']:.0f}B",
+        ]
+        for point in payload["points"]
+    ]
+    emit_table(
+        "Historical query serving",
+        ["config", "queries", "cold qps", "warm qps", "cold p95", "warm p95",
+         "hit rate", "archive B/epoch"],
+        rows,
+    )
+
+
+def _build_and_emit(smoke: bool) -> dict:
+    payload = build_payload(smoke)
+    emit(payload)
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    return bench_cli(
+        argv,
+        doc=__doc__,
+        build_payload=_build_and_emit,
+        check=check_regression,
+        default_output=DEFAULT_OUTPUT,
+        gate_ok="serving gate: within budget",
+    )
+
+
+# -- pytest-benchmark entry point ------------------------------------------
+
+
+def test_serving(benchmark):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    payload = benchmark.pedantic(lambda: build_payload(smoke), rounds=1, iterations=1)
+    emit(payload)
+    default = os.path.join(os.path.dirname(__file__), "results", "BENCH_serving.json")
+    os.makedirs(os.path.dirname(default), exist_ok=True)
+    output = os.environ.get("BENCH_SERVING_OUT", default)
+    from _common import write_json
+
+    write_json(output, payload)
+    point = payload["points"][0]
+    # The ROADMAP serving floor: a warm cache sustains >= 1k qps.
+    assert point["qps_warm"] >= 1000, f"warm qps {point['qps_warm']:.0f} < 1000"
+    # The warm pass replays the cold mix, so at least half of all
+    # queries hit the cache.
+    assert point["cache_hit_rate"] >= 0.45
+    # Serving traffic is accounted (and only under its own kinds).
+    assert point["serving_bytes"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

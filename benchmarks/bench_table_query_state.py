@@ -30,13 +30,11 @@ Regenerate the committed baseline after an intentional change::
         --output BENCH_query_state.json
 """
 
-import argparse
-import json
 import os
 import sys
 from collections import defaultdict
 
-from _common import emit_table
+from _common import bench_cli, emit_table, load_baseline
 
 from repro.core.events import ObjectEvent, events_from_truth
 from repro.core.service import ServiceConfig, StreamingInference
@@ -217,8 +215,7 @@ def check_drift(payload: dict, baseline_path: str, budget: float) -> list[str]:
     values. The gate allows ``budget`` relative drift; equivalence
     between compiled and legacy is asserted exactly at run time.
     """
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
+    baseline = load_baseline(baseline_path)
     base = {
         (name, cell["read_rate"]): cell
         for name, cells in baseline["queries"].items()
@@ -249,31 +246,16 @@ def check_drift(payload: dict, baseline_path: str, budget: float) -> list[str]:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="first read rate only")
-    parser.add_argument("--output", help="write the payload JSON here")
-    parser.add_argument("--baseline", help="baseline JSON to gate against")
-    parser.add_argument(
-        "--max-drift",
-        type=float,
-        default=0.10,
-        help="allowed relative drift in migrated bytes vs baseline",
+    return bench_cli(
+        argv,
+        doc=__doc__,
+        build_payload=build_payload,
+        check=check_drift,
+        budget_flag="--max-drift",
+        budget_default=0.10,
+        budget_help="allowed relative drift in migrated bytes vs baseline",
+        gate_ok="query-state gate: within budget (compiled == legacy exact)",
     )
-    args = parser.parse_args(argv)
-    payload = build_payload(args.smoke)
-    if args.output:
-        with open(args.output, "w") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.output}")
-    if args.baseline:
-        failures = check_drift(payload, args.baseline, args.max_drift)
-        if failures:
-            for line in failures:
-                print(f"REGRESSION: {line}", file=sys.stderr)
-            return 1
-        print("query-state gate: within budget (compiled == legacy exact)")
-    return 0
 
 
 # -- pytest-benchmark entry point ------------------------------------------

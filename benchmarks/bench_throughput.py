@@ -28,17 +28,21 @@ or through pytest (``python -m pytest benchmarks/bench_throughput.py``).
 
 from __future__ import annotations
 
-import argparse
 import json
 import os
 import resource
 import sys
-import time
 
 import numpy as np
 
 sys.path.insert(0, os.path.dirname(__file__))
-from _common import emit_table  # noqa: E402
+from _common import (  # noqa: E402
+    bench_cli,
+    calibration_seconds,
+    emit_table,
+    load_baseline,
+    normalized_latency_failures,
+)
 
 from repro.core.service import ServiceConfig, StreamingInference  # noqa: E402
 from repro.sim.supplychain import SupplyChainParams, simulate  # noqa: E402
@@ -50,21 +54,6 @@ DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 ITEM_COUNTS = [(6, 5), (12, 5), (20, 6)]
 HORIZON = 1500
 PHASES = ["window", "e_step", "m_step", "evidence", "changes", "cr", "events"]
-
-
-def calibration_seconds() -> float:
-    """A fixed numpy workload, timed — the hardware normalizer.
-
-    Regression gates compare ``latency / calibration`` so a slower CI
-    runner does not read as a regression and a faster one cannot hide
-    a real one.
-    """
-    rng = np.random.default_rng(0)
-    a = rng.random((400, 400))
-    started = time.perf_counter()
-    for _ in range(20):
-        a = 0.5 * (a @ a) / np.linalg.norm(a)
-    return time.perf_counter() - started
 
 
 def peak_rss_bytes() -> int:
@@ -142,30 +131,9 @@ def check_regression(payload: dict, baseline_path: str, budget: float) -> list[s
 
     Returns a list of failure messages (empty = within budget).
     """
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
-    base_calibration = baseline["calibration_seconds"]
-    base_points = {point["label"]: point for point in baseline["points"]}
-    failures: list[str] = []
-    for point in payload["points"]:
-        base = base_points.get(point["label"])
-        if base is None:
-            # A renamed/added config with no baseline point must not
-            # silently disable the gate — regenerate the baseline.
-            failures.append(
-                f"{point['label']}: no matching point in {baseline_path}; "
-                "regenerate the committed baseline"
-            )
-            continue
-        fresh_norm = point["latency_p50_seconds"] / payload["calibration_seconds"]
-        base_norm = base["latency_p50_seconds"] / base_calibration
-        ratio = fresh_norm / base_norm
-        if ratio > 1.0 + budget:
-            failures.append(
-                f"{point['label']}: normalized p50 latency {ratio:.2f}x baseline "
-                f"(budget {1.0 + budget:.2f}x)"
-            )
-    return failures
+    return normalized_latency_failures(
+        payload, load_baseline(baseline_path), budget, "latency_p50_seconds"
+    )
 
 
 def emit(payload: dict) -> None:
@@ -187,32 +155,20 @@ def emit(payload: dict) -> None:
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true", help="first sweep point only")
-    parser.add_argument("--output", default=DEFAULT_OUTPUT)
-    parser.add_argument("--baseline", help="baseline JSON to gate against")
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.25,
-        help="allowed normalized-latency growth (0.25 = +25%%)",
-    )
-    args = parser.parse_args(argv)
-    payload = build_payload(args.smoke)
+def _build_and_emit(smoke: bool) -> dict:
+    payload = build_payload(smoke)
     emit(payload)
-    with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.output}")
-    if args.baseline:
-        failures = check_regression(payload, args.baseline, args.max_regression)
-        for failure in failures:
-            print(f"REGRESSION: {failure}", file=sys.stderr)
-        if failures:
-            return 1
-        print("regression gate: within budget")
-    return 0
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    return bench_cli(
+        argv,
+        doc=__doc__,
+        build_payload=_build_and_emit,
+        check=check_regression,
+        default_output=DEFAULT_OUTPUT,
+    )
 
 
 def test_throughput(benchmark):

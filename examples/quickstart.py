@@ -3,13 +3,18 @@
 Generates a noisy RFID reading stream for one warehouse (entry, belt,
 shelf, and exit readers; 80% read rate), runs RFINFER over it, and
 compares the inferred containment and locations against ground truth.
+Finally, the streaming service's output is captured into a historical
+archive and queried back — "where was this item at time t".
 
 Run:  python examples/quickstart.py
 """
 
+from repro.archive import SiteArchive
 from repro.core.likelihood import TraceWindow
 from repro.core.rfinfer import RFInfer
+from repro.core.service import ServiceConfig, StreamingInference
 from repro.metrics.accuracy import containment_error_rate, location_error_rate
+from repro.serving import HistoryService
 from repro.sim.supplychain import simulate
 
 
@@ -48,6 +53,22 @@ def main() -> None:
     loc_err = location_error_rate(result.truth, inference, site=0)
     print(f"\ncontainment error: {cont_err:.2%}")
     print(f"location error:    {loc_err:.2%}")
+
+    # 5. Time travel: run the periodic service, archive each boundary's
+    #    output, then ask the history store instead of the live stream.
+    service = StreamingInference(trace, ServiceConfig(
+        run_interval=300, emit_events=True, event_period=5))
+    archive = SiteArchive(site=0)
+    for boundary in range(300, trace.horizon + 1, 300):
+        service.run_at(boundary)
+        archive.ingest_service(service)
+    history = HistoryService(archive)
+    (container, posterior), = history.point_containment(item, 900).rows
+    print(f"\narchived answer at t=900: {item} in {container} "
+          f"(posterior {posterior:.2f})")
+    trajectory = history.trajectory(item, 0, trace.horizon).rows
+    print(f"trajectory intervals: {len(trajectory)}; "
+          f"dwell by place: {dict(history.dwell(item, 0, trace.horizon).rows)}")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,9 @@ Subpackages:
   queries with SEQ pattern matching (Q1, Q2, tracking).
 * :mod:`repro.runtime` — the event-driven federation: site nodes,
   pluggable transports, batched state migration, query routing.
+* :mod:`repro.archive` / :mod:`repro.serving` — per-site append-only
+  history of inference output, and the query frontend serving
+  historical (time-travel) queries over it by scatter-gather.
 * :mod:`repro.distributed` — cost ledger, ONS, tag memory, centroid
   sharing, and the deployment facades over the runtime.
 * :mod:`repro.metrics` — error rates, F-measures, cost accounting.

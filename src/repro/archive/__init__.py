@@ -1,0 +1,25 @@
+"""Historical archive: per-site append-only history of inference output.
+
+* :mod:`repro.archive.store` — :class:`SiteArchive`: columnar interval /
+  event / alert logs with segment sealing, compaction, and
+  snapshot-consistent readers, fed at each inference boundary;
+* :mod:`repro.archive.codec` — the versioned binary format that lets an
+  archive ride inside site checkpoints and survive crash recovery
+  bit-identically.
+
+The serving layer (:mod:`repro.serving`) executes time-travel queries —
+point-in-time location/containment, trajectories, provenance, dwell,
+alert scans — against these archives.
+"""
+
+from repro.archive.codec import ARCHIVE_VERSION, decode_archive, encode_archive
+from repro.archive.store import NO_CONTAINER, TOP_K, SiteArchive
+
+__all__ = [
+    "ARCHIVE_VERSION",
+    "NO_CONTAINER",
+    "TOP_K",
+    "SiteArchive",
+    "decode_archive",
+    "encode_archive",
+]

@@ -1,0 +1,234 @@
+"""Versioned binary codec for :class:`~repro.archive.store.SiteArchive`.
+
+Archives ride inside site checkpoints
+(:mod:`repro.runtime.checkpoint`), so the format must restore a site's
+history **bit-identically**: sealed segments, pending rows, open
+intervals, and the intern tables all round-trip exactly, and
+``encode(decode(encode(a))) == encode(a)`` always holds. Columns are
+serialized as raw little-endian int64/float64 blocks (no per-row
+varints — numpy decodes them in one ``frombuffer``).
+
+The service-event cursor is deliberately **not** serialized: it indexes
+the live service's in-memory ``events`` list, which a restarted process
+rebuilds from empty, so the cursor must restart at zero with it.
+
+Like every wire format in this repository, malformed input raises
+:class:`ValueError`, never a bare decoder error.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.archive.store import SiteArchive, _AlertLog, _EventLog, _IntervalLog
+from repro.sim.tags import read_epc, write_epc
+
+__all__ = ["ARCHIVE_VERSION", "encode_archive", "decode_archive"]
+
+ARCHIVE_VERSION = 1
+
+
+def _write_i64(writer: ByteWriter, column: np.ndarray) -> None:
+    writer.raw(np.ascontiguousarray(column, dtype="<i8").tobytes())
+
+
+def _read_i64(reader: ByteReader, count: int) -> np.ndarray:
+    return np.frombuffer(reader.raw(count * 8), dtype="<i8").copy()
+
+
+def _write_f64(writer: ByteWriter, column: np.ndarray) -> None:
+    writer.raw(np.ascontiguousarray(column, dtype="<f8").tobytes())
+
+
+def _read_f64(reader: ByteReader, count: int) -> np.ndarray:
+    return np.frombuffer(reader.raw(count * 8), dtype="<f8").copy()
+
+
+# -- interval logs ----------------------------------------------------------
+
+
+def _write_interval_log(writer: ByteWriter, log: _IntervalLog) -> None:
+    writer.varint(len(log.segments))
+    for segment in log.segments:
+        writer.varint(len(segment[0]))
+        for column in segment[:5]:
+            _write_i64(writer, column)
+        _write_f64(writer, segment[5])
+    writer.varint(len(log.pending))
+    for tag, rank, start, end, value, posterior in log.pending:
+        writer.varint(tag).varint(rank).varint(start).varint(end).svarint(value)
+        writer.float64(posterior)
+    writer.varint(len(log.open))
+    for tag in sorted(log.open):
+        start, rows = log.open[tag]
+        writer.varint(tag).varint(start).varint(len(rows))
+        for value, posterior in rows:
+            writer.svarint(value).float64(posterior)
+
+
+def _read_interval_log(reader: ByteReader, seal_every: int) -> _IntervalLog:
+    log = _IntervalLog(seal_every)
+    for _ in range(reader.varint()):
+        count = reader.varint()
+        ints = tuple(_read_i64(reader, count) for _ in range(5))
+        log.segments.append(ints + (_read_f64(reader, count),))
+    for _ in range(reader.varint()):
+        log.pending.append(
+            (
+                reader.varint(),
+                reader.varint(),
+                reader.varint(),
+                reader.varint(),
+                reader.svarint(),
+                reader.float64(),
+            )
+        )
+    for _ in range(reader.varint()):
+        tag = reader.varint()
+        start = reader.varint()
+        rows = tuple(
+            (reader.svarint(), reader.float64()) for _ in range(reader.varint())
+        )
+        log.open[tag] = (start, rows)
+    return log
+
+
+# -- event / alert logs -----------------------------------------------------
+
+
+def _write_event_log(writer: ByteWriter, log: _EventLog) -> None:
+    writer.varint(len(log.segments))
+    for segment in log.segments:
+        writer.varint(len(segment[0]))
+        for column in segment:
+            _write_i64(writer, column)
+    writer.varint(len(log.pending))
+    for time, tag, place, container in log.pending:
+        writer.varint(time).varint(tag).svarint(place).svarint(container)
+
+
+def _read_event_log(reader: ByteReader, seal_every: int) -> _EventLog:
+    log = _EventLog(seal_every)
+    for _ in range(reader.varint()):
+        count = reader.varint()
+        log.segments.append(tuple(_read_i64(reader, count) for _ in range(4)))
+    for _ in range(reader.varint()):
+        log.pending.append(
+            (reader.varint(), reader.varint(), reader.svarint(), reader.svarint())
+        )
+    return log
+
+
+def _write_alert_log(writer: ByteWriter, log: _AlertLog) -> None:
+    writer.varint(len(log.segments))
+    for names, keys, starts, ends, offsets, flat in log.segments:
+        writer.varint(len(names))
+        for column in (names, keys, starts, ends):
+            _write_i64(writer, column)
+        _write_i64(writer, offsets)  # len(names) + 1 entries
+        writer.varint(len(flat))
+        _write_f64(writer, flat)
+    writer.varint(len(log.pending))
+    for name, key, start, end, values in log.pending:
+        writer.varint(name).varint(key).varint(start).varint(end)
+        writer.varint(len(values))
+        for value in values:
+            writer.float64(value)
+
+
+def _read_alert_log(reader: ByteReader, seal_every: int) -> _AlertLog:
+    log = _AlertLog(seal_every)
+    for _ in range(reader.varint()):
+        count = reader.varint()
+        ints = tuple(_read_i64(reader, count) for _ in range(4))
+        offsets = _read_i64(reader, count + 1)
+        flat = _read_f64(reader, reader.varint())
+        if len(offsets) and (offsets[-1] != len(flat) or offsets[0] != 0):
+            raise ValueError("alert segment offsets do not cover the value block")
+        log.segments.append(ints + (offsets, flat))
+    for _ in range(reader.varint()):
+        name = reader.varint()
+        key = reader.varint()
+        start = reader.varint()
+        end = reader.varint()
+        values = tuple(reader.float64() for _ in range(reader.varint()))
+        log.pending.append((name, key, start, end, values))
+    return log
+
+
+# -- the archive ------------------------------------------------------------
+
+
+def encode_archive(archive: SiteArchive) -> bytes:
+    """Serialize a site archive (sealed + pending + open state)."""
+    writer = ByteWriter()
+    writer.varint(ARCHIVE_VERSION)
+    writer.svarint(archive.site)
+    writer.varint(archive.last_boundary)
+    writer.varint(archive.top_k)
+    writer.varint(archive.seal_every)
+    writer.varint(len(archive.tag_table))
+    for tag in archive.tag_table:
+        write_epc(writer, tag)
+    writer.varint(len(archive.key_table))
+    for key in archive.key_table:
+        writer.text(key)
+    _write_interval_log(writer, archive.location)
+    _write_interval_log(writer, archive.containment)
+    _write_interval_log(writer, archive.belief)
+    _write_event_log(writer, archive.events)
+    _write_alert_log(writer, archive.alerts)
+    writer.varint(len(archive.alert_cursors))
+    for name in sorted(archive.alert_cursors):
+        writer.text(name)
+        writer.varint(archive.alert_cursors[name])
+    return writer.getvalue()
+
+
+def decode_archive(data: bytes) -> SiteArchive:
+    """Inverse of :func:`encode_archive`; ValueError on malformed input."""
+    try:
+        return _decode(ByteReader(data))
+    except ValueError:
+        raise
+    except (EOFError, struct.error, IndexError, OverflowError) as exc:
+        raise ValueError(f"malformed site archive: {exc}") from exc
+
+
+def _decode(reader: ByteReader) -> SiteArchive:
+    version = reader.varint()
+    if version != ARCHIVE_VERSION:
+        raise ValueError(f"unsupported archive version {version}")
+    site = reader.svarint()
+    last_boundary = reader.varint()
+    top_k = reader.varint()
+    seal_every = reader.varint()
+    archive = SiteArchive(site, seal_every=seal_every, top_k=top_k)
+    archive.last_boundary = last_boundary
+    for _ in range(reader.varint()):
+        tag = read_epc(reader)
+        if tag in archive._tag_ids:
+            raise ValueError(f"duplicate tag {tag} in archive tag table")
+        archive.intern_tag(tag)
+    for _ in range(reader.varint()):
+        key = reader.text()
+        if key in archive._key_ids:
+            raise ValueError(f"duplicate key {key!r} in archive key table")
+        archive.intern_key(key)
+    archive.location = _read_interval_log(reader, seal_every)
+    archive.containment = _read_interval_log(reader, seal_every)
+    archive.belief = _read_interval_log(reader, seal_every)
+    archive.events = _read_event_log(reader, seal_every)
+    archive.alerts = _read_alert_log(reader, seal_every)
+    for _ in range(reader.varint()):
+        name = reader.text()
+        archive.alert_cursors[name] = reader.varint()
+    # last_event is derived state: rebuild it from the event log rather
+    # than widening the wire format.
+    for time, tag, _, _ in archive.events.rows():
+        if time > archive.last_event.get(tag, -1):
+            archive.last_event[tag] = time
+    return archive

@@ -20,7 +20,14 @@ a :class:`~repro.runtime.cluster.Cluster`:
   (drop/duplicate/delay/reorder) over any transport;
 * :mod:`repro.runtime.checkpoint` — the site checkpoint format behind
   :meth:`SiteNode.snapshot`/:meth:`SiteNode.restore` and
-  :meth:`Cluster.crash`/:meth:`Cluster.recover`.
+  :meth:`Cluster.crash`/:meth:`Cluster.recover` (the historical archive
+  rides inside it).
+
+Each node also feeds a per-site :class:`~repro.archive.store.SiteArchive`
+at every boundary and answers ``history-request`` envelopes from the
+serving layer (:mod:`repro.serving`) against it — attach a
+:class:`~repro.serving.frontend.QueryFrontend` with
+:meth:`Cluster.attach_frontend` for federated time-travel queries.
 
 The legacy :class:`repro.distributed.coordinator.DistributedDeployment`
 is now a thin facade over this runtime.

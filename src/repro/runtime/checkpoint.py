@@ -17,7 +17,11 @@ needs to resume *exactly* where it was at an interval boundary:
   position, absorbed migrations, and the at-least-once delivery
   cursors (per-link next sequence numbers and applied-sequence sets),
   so a restored site neither re-applies old envelopes nor re-detects
-  old arrivals.
+  old arrivals;
+* **history** — the site's :class:`~repro.archive.store.SiteArchive`
+  via its versioned codec (:mod:`repro.archive.codec`), so a recovered
+  site serves bit-identical historical answers to the run that never
+  crashed.
 
 Weights and scores are serialized as float64: migration rounds to
 float32 to keep Table 5 honest, but a checkpoint that rounded would
@@ -44,7 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["encode_site_checkpoint", "restore_site_checkpoint", "CHECKPOINT_VERSION"]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def _write_weight_map(writer: ByteWriter, weights: dict[EPC, dict[EPC, float]]) -> None:
@@ -142,6 +146,10 @@ def encode_site_checkpoint(node: "SiteNode") -> bytes:
     for name in sorted(query_blobs):
         writer.text(name)
         writer.blob(query_blobs[name])
+    # The historical archive (its codec owns its own versioning).
+    from repro.archive import encode_archive
+
+    writer.blob(encode_archive(node.archive))
     return writer.getvalue()
 
 
@@ -223,3 +231,13 @@ def _restore(node: "SiteNode", reader: ByteReader) -> None:
     node._link_rx = link_rx
     blobs = {reader.text(): reader.blob() for _ in range(reader.varint())}
     node.router.restore_queries(blobs)
+    from repro.archive import decode_archive
+    from repro.serving.history import HistoryService
+
+    archive = decode_archive(reader.blob())
+    if archive.site != node.site:
+        raise ValueError(
+            f"checkpoint archive is for site {archive.site}, not {node.site}"
+        )
+    node.archive = archive
+    node.history = HistoryService(archive)

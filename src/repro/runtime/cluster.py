@@ -120,6 +120,9 @@ class Cluster:
         #: events are scheduled; see :meth:`checkpoint_all`).
         self._checkpoints: dict[int, bytes] = {}
         self._down: set[int] = set()
+        #: attached serving frontends, notified after each boundary's
+        #: archive appends (epoch-tagged cache invalidation).
+        self._frontends: list[Any] = []
 
     # -- registration ------------------------------------------------------
 
@@ -138,6 +141,18 @@ class Cluster:
         by_site = {node.site: node for node in self.nodes}
         for site, readings in streams.items():
             by_site[site].set_sensor_stream(readings)
+
+    def attach_frontend(self, frontend: Any) -> None:
+        """Wire a :class:`~repro.serving.frontend.QueryFrontend` in.
+
+        The frontend registers on the cluster's transport (scatter-
+        gather targets every site) and is notified after each boundary's
+        archive appends so its epoch-tagged result cache invalidates.
+        """
+        frontend.bind(self.transport, [node.site for node in self.nodes])
+        self._frontends.append(frontend)
+        for node in self.nodes:
+            frontend.note_append(node.site, node.archive.last_boundary)
 
     # -- the interval schedule ---------------------------------------------
 
@@ -168,6 +183,9 @@ class Cluster:
                 node.flush_query_handoffs(boundary)
                 self._sync()
             self.snapshots.append(self._snapshot(boundary))
+            for frontend in self._frontends:
+                for node in self.nodes:
+                    frontend.note_append(node.site, node.archive.last_boundary)
             self.last_boundary = boundary
             if self._fault_cursor < len(self._fault_events):
                 # Checkpoints are only needed while crash/recover events

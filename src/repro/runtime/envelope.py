@@ -12,7 +12,13 @@ four message families of the paper's federation:
   either per object or as a centroid-compressed batch (§4.2);
 * ``query-state`` — per-object pattern-automaton state (Appendix B),
   grouped by query and centroid-compressed the same way;
-* ``ack`` — at-least-once delivery acknowledgements (fault tolerance).
+* ``ack`` — at-least-once delivery acknowledgements (fault tolerance);
+* ``history-request`` / ``history-response`` — the serving layer's
+  historical (time-travel) queries and their answers, scatter-gathered
+  by the :class:`~repro.serving.frontend.QueryFrontend`. Payload codecs
+  live in :mod:`repro.serving.wire`; the kinds are declared here so the
+  ledger accounts serving traffic separately from the paper's Table 5
+  data kinds.
 
 Batched payloads reuse :func:`repro.distributed.sharing.centroid_compress`
 so one bundle per ``(src, dst)`` pair replaces a message per object.
@@ -43,6 +49,8 @@ __all__ = [
     "QUERY_STATE",
     "ONS_LOOKUP",
     "ONS_UPDATE",
+    "HISTORY_REQUEST",
+    "HISTORY_RESPONSE",
     "ACK",
     "RETRANSMIT",
     "encode_tag_list",
@@ -63,6 +71,8 @@ INFERENCE_STATE = "inference-state"
 QUERY_STATE = "query-state"
 ONS_LOOKUP = "ons-lookup"
 ONS_UPDATE = "ons-update"
+HISTORY_REQUEST = "history-request"
+HISTORY_RESPONSE = "history-response"
 
 
 @dataclass(frozen=True)

@@ -26,9 +26,15 @@ yields bit-identical inference and query results — only the ledger's
 
 **Crash recovery.** :meth:`snapshot` serializes everything a site needs
 to resume exactly where it was — inference state, per-object query
-automaton state, arrival/sensor cursors, and delivery cursors — and
-:meth:`restore` rebuilds the node from it (see
+automaton state, arrival/sensor cursors, delivery cursors, and the
+historical archive — and :meth:`restore` rebuilds the node from it (see
 :mod:`repro.runtime.checkpoint` for the wire format).
+
+**History.** Each tick's inference output (events, containment
+snapshot, posterior top-k, fresh query alerts) is appended to the
+site's :class:`~repro.archive.store.SiteArchive`; a ``history-request``
+envelope makes the node answer a time-travel query against it through
+its :class:`~repro.serving.history.HistoryService`.
 """
 
 from __future__ import annotations
@@ -37,11 +43,14 @@ import time
 from dataclasses import replace
 from typing import Any, Iterable, Mapping
 
+from repro.archive import SiteArchive
 from repro.core.collapsed import CollapsedState
 from repro.core.events import ObjectEvent
 from repro.core.service import ServiceConfig, StreamingInference
 from repro.runtime.envelope import (
     ACK,
+    HISTORY_REQUEST,
+    HISTORY_RESPONSE,
     INFERENCE_STATE,
     MIGRATE_REQUEST,
     QUERY_STATE,
@@ -60,6 +69,12 @@ from repro.runtime.envelope import (
 from repro.queries.compiler import QueryEngine
 from repro.runtime.router import QueryRouter
 from repro.runtime.transport import Transport
+from repro.serving.history import HistoryService
+from repro.serving.wire import (
+    HistoryResponse,
+    decode_history_request,
+    encode_history_response,
+)
 from repro.sim.tags import EPC
 from repro.sim.trace import Trace
 from repro.streams.engine import merge_by_time
@@ -98,6 +113,10 @@ class SiteNode:
         #: must be pushed once into the engine, not once per query).
         self._engine_queries: set[str] = set()
         self.router = QueryRouter(self.queries)
+        #: append-only history of this site's inference output, fed at
+        #: every boundary; the serving layer's historical queries read it.
+        self.archive = SiteArchive(self.site)
+        self.history = HistoryService(self.archive)
         #: tags this site has ever observed (arrival detection).
         self.seen: set[EPC] = set()
         #: state hand-offs absorbed *into* this node (tag-level record).
@@ -154,6 +173,8 @@ class SiteNode:
             # Rebinds don't re-count the ledger's operator gauges: the
             # site's registered plans are unchanged, only rebuilt.
             self._bind_query(name, query, account=False)
+        self.archive = SiteArchive(self.site)
+        self.history = HistoryService(self.archive)
         self.seen = set()
         self.migrations_in = []
         self._pending_handoffs = []
@@ -231,11 +252,29 @@ class SiteNode:
         return fresh
 
     def advance_to(self, boundary: int) -> None:
-        """One inference tick: run RFINFER, feed new tuples to queries."""
+        """One inference tick: run RFINFER, feed new tuples to queries,
+        then append the boundary's output to the historical archive."""
         record = self.service.run_at(boundary)
         started = time.perf_counter()
         self._feed_queries(boundary)
         record.phase_seconds["queries"] = time.perf_counter() - started
+        started = time.perf_counter()
+        self._feed_archive()
+        record.phase_seconds["archive"] = time.perf_counter() - started
+
+    def _feed_archive(self) -> None:
+        """Capture this boundary's inference output and fresh alerts.
+
+        Iteration is in sorted-query-name order (and the archive ingests
+        service state in sorted-tag order), so the archive is a pure
+        function of the site's post-tick state — a crash-recovered site
+        rebuilds the identical history.
+        """
+        self.archive.ingest_service(self.service)
+        for name in sorted(self.queries):
+            alerts = getattr(self.queries[name], "alerts", None)
+            if alerts is not None:
+                self.archive.ingest_alerts(name, alerts)
 
     def _feed_queries(self, boundary: int) -> None:
         events = self.service.events[self._event_pos :]
@@ -300,6 +339,8 @@ class SiteNode:
             self._absorb_inference(env)
         elif env.kind == QUERY_STATE:
             self._absorb_query_state(env)
+        elif env.kind == HISTORY_REQUEST:
+            self._serve_history(env)
         else:
             raise ValueError(f"site {self.site}: unknown message kind {env.kind!r}")
 
@@ -417,6 +458,33 @@ class SiteNode:
                                 time,
                             )
                         )
+
+    def _serve_history(self, env: Envelope) -> None:
+        """Answer one historical query against the site's archive.
+
+        Requests are idempotent reads and arrive unsequenced: the
+        frontend retransmits until the response lands and dedups on the
+        request id, so re-serving a duplicate is harmless — no outbox
+        or ack involvement (see :mod:`repro.serving.frontend`). The
+        response is likewise unsequenced and accounted under its own
+        ledger kind.
+        """
+        request = decode_history_request(env.payload)
+        answer = self.history.answer(request)
+        response = HistoryResponse(
+            request_id=request.request_id,
+            site=self.site,
+            as_of=self.archive.last_boundary,
+            kind=answer.kind,
+            last_update=answer.last_update,
+            rows=answer.rows,
+        )
+        self._require_transport().send(
+            Envelope(
+                self.site, env.src, HISTORY_RESPONSE,
+                encode_history_response(response), env.time,
+            )
+        )
 
     def _absorb_inference(self, env: Envelope) -> None:
         if self.batch_migrations:

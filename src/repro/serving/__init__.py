@@ -1,0 +1,47 @@
+"""Query serving: federated historical (time-travel) queries.
+
+* :mod:`repro.serving.history` — :class:`HistoryService`: per-site
+  execution of point-in-time location/containment, trajectory,
+  provenance, dwell, and alert-scan queries over the site's
+  :class:`~repro.archive.store.SiteArchive`;
+* :mod:`repro.serving.wire` — the ``history-request``/``history-response``
+  payload codecs (ValueError-hardened like every wire format here);
+* :mod:`repro.serving.frontend` — :class:`QueryFrontend`: client-facing
+  scatter-gather over the transport with an epoch-tagged result cache,
+  admission control, and :class:`ServingSession` handles.
+"""
+
+from repro.serving.frontend import (
+    FRONTEND_SITE,
+    Backpressure,
+    QueryFrontend,
+    QueryResult,
+    ServingSession,
+)
+from repro.serving.history import HistoryAnswer, HistoryService
+from repro.serving.wire import (
+    HISTORY_KINDS,
+    HistoryRequest,
+    HistoryResponse,
+    decode_history_request,
+    decode_history_response,
+    encode_history_request,
+    encode_history_response,
+)
+
+__all__ = [
+    "FRONTEND_SITE",
+    "HISTORY_KINDS",
+    "Backpressure",
+    "HistoryAnswer",
+    "HistoryRequest",
+    "HistoryResponse",
+    "HistoryService",
+    "QueryFrontend",
+    "QueryResult",
+    "ServingSession",
+    "decode_history_request",
+    "decode_history_response",
+    "encode_history_request",
+    "encode_history_response",
+]

@@ -1,0 +1,337 @@
+"""The query-serving frontend: federated time-travel queries.
+
+A :class:`QueryFrontend` registers on the cluster's transport as a
+synthetic site (``FRONTEND_SITE``, alongside the ONS at ``-2`` and the
+centralized server at ``-1``) and executes historical queries by
+**scatter-gather**: one ``history-request`` envelope per site, answers
+merged per query kind. All serving traffic flows through the ordinary
+:class:`~repro.runtime.transport.Transport` send path, so the ledger
+accounts it per link under its own kinds — the paper's Table 5 data
+kinds are untouched.
+
+**At-least-once.** Requests are idempotent reads, so instead of
+entangling serving traffic with the cluster's sequenced ack/outbox
+machinery the frontend simply retransmits a request until the site's
+response arrives, deduplicating responses on the request id. One
+transport flush is a delivery barrier, so on a reliable transport the
+first round always completes; a lossy transport costs extra rounds
+(counted in :attr:`ServingStats.retransmits`).
+
+**Caching.** Results are cached under the query's parameters, tagged
+with the *epoch vector* — every site's last archived boundary — at fill
+time. The cluster notifies the frontend after each boundary's appends
+(:meth:`note_append`), which advances the vector and thereby
+invalidates every entry formed against the older one; responses carry
+``as_of`` so even an unattached frontend converges. A warm cache
+serves repeated audit queries without touching the network.
+
+**Admission control.** At most ``max_in_flight`` queries may be
+admitted and unanswered at once; beyond that :meth:`ServingSession.submit`
+raises :class:`Backpressure` — the client's signal to drain before
+submitting more. Clients interact through :class:`ServingSession`
+handles (:meth:`QueryFrontend.session`), which carry per-session
+statistics for multi-tenant accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import NamedTuple, Sequence
+
+from repro.runtime.envelope import HISTORY_REQUEST, HISTORY_RESPONSE, Envelope
+from repro.runtime.transport import Transport
+from repro.serving.wire import (
+    HistoryRequest,
+    HistoryResponse,
+    decode_history_response,
+    encode_history_request,
+)
+from repro.sim.tags import EPC
+
+__all__ = ["FRONTEND_SITE", "Backpressure", "QueryResult", "QueryFrontend", "ServingSession"]
+
+#: synthetic ledger site id of the serving frontend.
+FRONTEND_SITE = -3
+
+
+class Backpressure(RuntimeError):
+    """Raised when admission control rejects a query (queue full)."""
+
+
+class QueryResult(NamedTuple):
+    """One federated answer.
+
+    For point kinds (``location``/``containment``/``provenance``) the
+    rows come from the freshest site (``site`` names it; ``None`` = no
+    site had an answer). For range kinds (``trajectory``/``dwell``/
+    ``alerts``) the rows pool every site's answer, each row prefixed
+    with its site id, in canonical order.
+    """
+
+    kind: str
+    site: int | None
+    rows: tuple
+
+
+@dataclass
+class ServingStats:
+    """Counters for one frontend (or one session)."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    remote_requests: int = 0
+    retransmits: int = 0
+    rejected: int = 0
+
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+#: kinds answered by the single freshest site.
+_POINT_KINDS = ("location", "containment", "provenance")
+
+
+class QueryFrontend:
+    """Scatter-gather execution of historical queries across sites."""
+
+    #: retransmit rounds before a missing response is a hard error.
+    MAX_ROUNDS = 64
+
+    def __init__(
+        self,
+        max_in_flight: int = 64,
+        cache_capacity: int = 1024,
+        site_id: int = FRONTEND_SITE,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be positive")
+        self.site_id = site_id
+        self.max_in_flight = max_in_flight
+        self.cache_capacity = cache_capacity
+        self.stats = ServingStats()
+        self._transport: Transport | None = None
+        self._sites: list[int] = []
+        self._lock = threading.Lock()
+        #: per-site last archived boundary (the cache's epoch vector).
+        self._epochs: dict[int, int] = {}
+        #: request_id -> {site: HistoryResponse} for in-flight queries.
+        self._responses: dict[int, dict[int, HistoryResponse]] = {}
+        self._next_request_id = 1
+        self._in_flight = 0
+        #: cache: key -> (epoch vector at fill time, merged result).
+        self._cache: OrderedDict[tuple, tuple[tuple, QueryResult]] = OrderedDict()
+        self._sessions = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, transport: Transport, sites: Sequence[int]) -> None:
+        """Attach to the federation's transport and site list."""
+        self._transport = transport
+        self._sites = list(sites)
+        transport.register(self.site_id, self.handle)
+
+    def note_append(self, site: int, boundary: int) -> None:
+        """New rows landed in ``site``'s archive up to ``boundary``.
+
+        Advancing the epoch vector invalidates every cached result that
+        was formed against the older vector (checked lazily on lookup).
+        """
+        with self._lock:
+            if boundary > self._epochs.get(site, -1):
+                self._epochs[site] = boundary
+
+    def handle(self, env: Envelope) -> None:
+        """Receive one ``history-response`` envelope."""
+        if env.kind != HISTORY_RESPONSE:
+            raise ValueError(f"frontend cannot handle envelope kind {env.kind!r}")
+        response = decode_history_response(env.payload)
+        with self._lock:
+            if response.as_of > self._epochs.get(response.site, -1):
+                self._epochs[response.site] = response.as_of
+            pending = self._responses.get(response.request_id)
+            if pending is not None and response.site not in pending:
+                pending[response.site] = response
+
+    def session(self, name: str | None = None) -> "ServingSession":
+        """Open a client session handle."""
+        with self._lock:
+            self._sessions += 1
+            label = name if name is not None else f"session-{self._sessions}"
+        return ServingSession(self, label)
+
+    # -- execution --------------------------------------------------------
+
+    def _require_transport(self) -> Transport:
+        if self._transport is None:
+            raise RuntimeError("frontend is not bound to a transport")
+        return self._transport
+
+    @staticmethod
+    def _cache_key(request: HistoryRequest) -> tuple:
+        return (request.kind, request.tag, request.t0, request.t1, request.k, request.name)
+
+    def _epoch_vector(self) -> tuple:
+        return tuple(sorted(self._epochs.items()))
+
+    def execute(self, request: HistoryRequest) -> QueryResult:
+        """Admit, serve-from-cache or scatter-gather, merge, cache."""
+        return self._execute(request)[0]
+
+    def _execute(self, request: HistoryRequest) -> tuple[QueryResult, bool]:
+        """:meth:`execute` plus whether the cache served it (for
+        per-session hit accounting, decided under the frontend lock)."""
+        key = self._cache_key(request)
+        with self._lock:
+            self.stats.queries += 1
+            entry = self._cache.get(key)
+            if entry is not None and entry[0] == self._epoch_vector():
+                self._cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                return entry[1], True
+            if self._in_flight >= self.max_in_flight:
+                self.stats.rejected += 1
+                raise Backpressure(
+                    f"{self._in_flight} queries in flight (limit "
+                    f"{self.max_in_flight}); drain before submitting more"
+                )
+            self._in_flight += 1
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._responses[request_id] = {}
+            # Tag the eventual entry with the epoch vector as of
+            # admission: an append that lands while the gather is in
+            # flight advances the live vector past this one, so the
+            # entry is born stale instead of masking the new rows.
+            admitted_epochs = self._epoch_vector()
+        try:
+            responses = self._gather(request_id, request)
+            result = self._merge(request.kind, responses)
+            with self._lock:
+                self._cache[key] = (admitted_epochs, result)
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_capacity:
+                    self._cache.popitem(last=False)
+            return result, False
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                self._responses.pop(request_id, None)
+
+    def _gather(
+        self, request_id: int, request: HistoryRequest
+    ) -> dict[int, HistoryResponse]:
+        transport = self._require_transport()
+        payload = encode_history_request(request._replace(request_id=request_id))
+        targets = list(self._sites)
+        with self._lock:
+            self.stats.remote_requests += len(targets)
+        for site in targets:
+            transport.send(
+                Envelope(self.site_id, site, HISTORY_REQUEST, payload, request.t0)
+            )
+        for round_index in range(self.MAX_ROUNDS):
+            transport.flush()
+            with self._lock:
+                arrived = self._responses[request_id]
+                missing = [site for site in targets if site not in arrived]
+                if not missing:
+                    return dict(arrived)
+                self.stats.retransmits += len(missing)
+            for site in missing:
+                transport.send(
+                    Envelope(self.site_id, site, HISTORY_REQUEST, payload, request.t0)
+                )
+        raise RuntimeError(
+            f"no response from sites {missing} after {self.MAX_ROUNDS} rounds"
+        )
+
+    @staticmethod
+    def _merge(kind: str, responses: dict[int, HistoryResponse]) -> QueryResult:
+        if kind in _POINT_KINDS:
+            best: HistoryResponse | None = None
+            for site in sorted(responses):
+                response = responses[site]
+                if not response.rows:
+                    continue
+                if best is None or response.last_update > best.last_update:
+                    best = response
+            if best is None:
+                return QueryResult(kind, None, ())
+            return QueryResult(kind, best.site, best.rows)
+        pooled = [
+            (site,) + row
+            for site in sorted(responses)
+            for row in responses[site].rows
+        ]
+        if kind == "trajectory":
+            pooled.sort(key=lambda row: (row[1], row[0], row[2], row[3]))
+        else:
+            pooled.sort()
+        return QueryResult(kind, None, tuple(pooled))
+
+
+@dataclass
+class ServingSession:
+    """One client's handle onto the frontend.
+
+    Point methods execute immediately; :meth:`submit`/:meth:`gather`
+    batch queries (each still individually admission-controlled, so a
+    burst beyond ``max_in_flight`` raises :class:`Backpressure`).
+    """
+
+    frontend: QueryFrontend
+    name: str
+    stats: ServingStats = field(default_factory=ServingStats)
+    _pending: list[HistoryRequest] = field(default_factory=list)
+
+    def _run(self, request: HistoryRequest) -> QueryResult:
+        self.stats.queries += 1
+        try:
+            result, hit = self.frontend._execute(request)
+        except Backpressure:
+            self.stats.rejected += 1
+            raise
+        if hit:
+            self.stats.cache_hits += 1
+        return result
+
+    # -- the historical-query API ----------------------------------------
+
+    def location(self, tag: EPC, time: int, k: int = 1) -> QueryResult:
+        return self._run(HistoryRequest(0, "location", tag, time, k=k))
+
+    def containment(self, tag: EPC, time: int, k: int = 1) -> QueryResult:
+        return self._run(HistoryRequest(0, "containment", tag, time, k=k))
+
+    def trajectory(self, tag: EPC, lo: int, hi: int = -1) -> QueryResult:
+        return self._run(HistoryRequest(0, "trajectory", tag, lo, hi))
+
+    def provenance(self, tag: EPC, time: int) -> QueryResult:
+        return self._run(HistoryRequest(0, "provenance", tag, time))
+
+    def dwell(self, tag: EPC, lo: int, hi: int = -1) -> QueryResult:
+        return self._run(HistoryRequest(0, "dwell", tag, lo, hi))
+
+    def alerts(self, name: str = "", lo: int = 0, hi: int = -1) -> QueryResult:
+        return self._run(HistoryRequest(0, "alerts", None, lo, hi, name=name))
+
+    # -- batched submission ----------------------------------------------
+
+    def submit(self, request: HistoryRequest) -> int:
+        """Queue a query; returns its ticket index for :meth:`gather`."""
+        if len(self._pending) >= self.frontend.max_in_flight:
+            self.stats.rejected += 1
+            self.frontend.stats.rejected += 1
+            raise Backpressure(
+                f"session {self.name!r} already holds "
+                f"{len(self._pending)} pending queries"
+            )
+        self._pending.append(request)
+        return len(self._pending) - 1
+
+    def gather(self) -> list[QueryResult]:
+        """Execute every pending query, in submission order."""
+        pending, self._pending = self._pending, []
+        return [self._run(request) for request in pending]

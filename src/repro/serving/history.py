@@ -1,0 +1,243 @@
+"""Per-site historical query execution over a :class:`SiteArchive`.
+
+A :class:`HistoryService` answers the time-travel queries the paper's
+back-end stores exist for: "where was tag X at time t", containment
+provenance, dwell aggregation, and alert audits. Answers are derived
+purely from the archive, so a query at a boundary epoch returns exactly
+the inference snapshot the site emitted at that boundary — the
+consistency contract the archive tests enforce.
+
+All methods accept times in stream epochs and return a
+:class:`HistoryAnswer` whose ``rows`` match the wire row formats in
+:mod:`repro.serving.wire`:
+
+* ``location`` — ``(place, posterior)`` rows. ``k == 1`` is the argmax
+  decoded place from the event stream; ``k > 1`` marginalizes over the
+  top-k containment candidates (an object's location posterior follows
+  its container's — §2's containment-carries-location model), summing
+  probability per candidate place.
+* ``containment`` — ``(container, posterior)`` rows: the snapshot
+  estimate for ``k == 1``, the top-k posterior candidates otherwise.
+* ``trajectory`` — ``(start, end, place)`` intervals overlapping the
+  range, ``end == -1`` for the still-open interval.
+* ``provenance`` — the containment chain at ``t`` walked upward
+  (item → case → pallet), one ``(container, posterior)`` row per hop.
+* ``dwell`` — ``(place, epochs)`` totals over the range; the open
+  interval is clipped at the archive's last boundary (the archive
+  cannot claim knowledge past what inference has processed).
+* ``alerts`` — ``(query, key, start, end, values)`` rows overlapping
+  the range, optionally filtered by query name, in canonical order.
+
+:meth:`HistoryService.snapshot` pins the service to a consistent
+archive view: appends that land after the snapshot do not change its
+answers.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.archive.store import NO_CONTAINER, SiteArchive
+from repro.serving.wire import HistoryRequest
+from repro.sim.tags import EPC
+
+__all__ = ["HistoryAnswer", "HistoryService"]
+
+#: containment provenance chains stop after this many hops (the EPC
+#: packaging hierarchy is 3 deep; anything longer is a cycle).
+MAX_PROVENANCE_DEPTH = 8
+
+
+class HistoryAnswer(NamedTuple):
+    """One site-local answer: kind-specific rows plus freshness."""
+
+    kind: str
+    rows: tuple
+    #: epoch at which the answering interval took effect (-1 = none).
+    last_update: int
+
+
+class HistoryService:
+    """Executes historical queries against one site's archive."""
+
+    def __init__(self, archive: SiteArchive) -> None:
+        self.archive = archive
+
+    def _freshness(self, tag_id: int, interval_start: int) -> int:
+        """How current this site's knowledge of the tag is.
+
+        The max of the answering interval's start and the tag's latest
+        archived event: two sites' intervals can tie on start (both
+        resealed at the same boundary), but only the site that still
+        *observes* the tag keeps appending events — the scatter-gather
+        merge must prefer it.
+        """
+        return max(interval_start, self.archive.last_event.get(tag_id, -1))
+
+    def snapshot(self) -> "HistoryService":
+        """A service pinned to the archive's current contents."""
+        return HistoryService(self.archive.snapshot_reader())
+
+    # -- request dispatch (used by the site node) -------------------------
+
+    def answer(self, request: HistoryRequest) -> HistoryAnswer:
+        """Execute one decoded :class:`HistoryRequest`."""
+        kind = request.kind
+        if kind == "location":
+            return self.point_location(request.tag, request.t0, request.k)
+        if kind == "containment":
+            return self.point_containment(request.tag, request.t0, request.k)
+        if kind == "trajectory":
+            return self.trajectory(request.tag, request.t0, request.t1)
+        if kind == "provenance":
+            return self.provenance(request.tag, request.t0)
+        if kind == "dwell":
+            return self.dwell(request.tag, request.t0, request.t1)
+        if kind == "alerts":
+            return self.alerts(request.name or None, request.t0, request.t1)
+        raise ValueError(f"unknown history query kind {kind!r}")
+
+    # -- point queries ----------------------------------------------------
+
+    def point_location(self, tag: EPC, time: int, k: int = 1) -> HistoryAnswer:
+        """Tag's place at ``time``: argmax (k=1) or the posterior mix."""
+        archive = self.archive
+        tag_id = archive.tag_id_of(tag)
+        if tag_id is None:
+            return HistoryAnswer("location", (), -1)
+        covering = archive.location.covering(tag_id, time)
+        own = covering[0] if covering else None
+        if k == 1:
+            if own is None:
+                return HistoryAnswer("location", (), -1)
+            return HistoryAnswer(
+                "location", ((own[2], 1.0),), self._freshness(tag_id, own[1])
+            )
+        belief = archive.belief.covering(tag_id, time)
+        if not belief:
+            if own is None:
+                return HistoryAnswer("location", (), -1)
+            return HistoryAnswer(
+                "location", ((own[2], 1.0),), self._freshness(tag_id, own[1])
+            )
+        by_place: dict[int, float] = {}
+        freshest = own[1] if own is not None else -1
+        for _, start, candidate, posterior in belief:
+            freshest = max(freshest, start)
+            candidate_rows = archive.location.covering(candidate, time)
+            place = candidate_rows[0][2] if candidate_rows else (
+                own[2] if own is not None else -1
+            )
+            by_place[place] = by_place.get(place, 0.0) + posterior
+        rows = tuple(
+            sorted(by_place.items(), key=lambda item: (-item[1], item[0]))[:k]
+        )
+        return HistoryAnswer("location", rows, self._freshness(tag_id, freshest))
+
+    def point_containment(self, tag: EPC, time: int, k: int = 1) -> HistoryAnswer:
+        """Tag's container at ``time``: snapshot (k=1) or top-k belief."""
+        archive = self.archive
+        tag_id = archive.tag_id_of(tag)
+        if tag_id is None:
+            return HistoryAnswer("containment", (), -1)
+        covering = archive.containment.covering(tag_id, time)
+        if k > 1:
+            belief = archive.belief.covering(tag_id, time)
+            if belief:
+                rows = tuple(
+                    (archive.tag_of(candidate), posterior)
+                    for _, _, candidate, posterior in belief[:k]
+                )
+                return HistoryAnswer(
+                    "containment", rows, self._freshness(tag_id, belief[0][1])
+                )
+        if not covering:
+            return HistoryAnswer("containment", (), -1)
+        _, start, value, posterior = covering[0]
+        container = None if value == NO_CONTAINER else archive.tag_of(value)
+        return HistoryAnswer(
+            "containment", ((container, posterior),), self._freshness(tag_id, start)
+        )
+
+    def provenance(self, tag: EPC, time: int) -> HistoryAnswer:
+        """The containment chain at ``time``, walked upward."""
+        archive = self.archive
+        chain: list[tuple[EPC | None, float]] = []
+        seen = {tag}
+        current = tag
+        last_update = -1
+        for _ in range(MAX_PROVENANCE_DEPTH):
+            tag_id = archive.tag_id_of(current)
+            if tag_id is None:
+                break
+            covering = archive.containment.covering(tag_id, time)
+            if not covering:
+                break
+            _, start, value, posterior = covering[0]
+            last_update = max(last_update, start)
+            if value == NO_CONTAINER:
+                chain.append((None, posterior))
+                break
+            container = archive.tag_of(value)
+            chain.append((container, posterior))
+            if container in seen:  # corrupt estimate formed a cycle
+                break
+            seen.add(container)
+            current = container
+        root_id = archive.tag_id_of(tag)
+        if root_id is not None and chain:
+            last_update = self._freshness(root_id, last_update)
+        return HistoryAnswer("provenance", tuple(chain), last_update)
+
+    # -- range queries ----------------------------------------------------
+
+    def trajectory(self, tag: EPC, lo: int, hi: int) -> HistoryAnswer:
+        """Location intervals overlapping ``[lo, hi)`` (``hi=-1``: open)."""
+        archive = self.archive
+        tag_id = archive.tag_id_of(tag)
+        end = hi if hi >= 0 else archive.last_boundary + 1
+        if tag_id is None:
+            return HistoryAnswer("trajectory", (), -1)
+        rows = tuple(
+            (start, seg_end, value)
+            for start, seg_end, value, _ in archive.location.in_range(tag_id, lo, end)
+        )
+        last_update = max((row[0] for row in rows), default=-1)
+        return HistoryAnswer("trajectory", rows, last_update)
+
+    def dwell(self, tag: EPC, lo: int, hi: int) -> HistoryAnswer:
+        """Epochs spent per place over ``[lo, hi)`` (``hi=-1``: open)."""
+        archive = self.archive
+        tag_id = archive.tag_id_of(tag)
+        end = hi if hi >= 0 else archive.last_boundary
+        if tag_id is None:
+            return HistoryAnswer("dwell", (), -1)
+        totals: dict[int, int] = {}
+        last_update = -1
+        for start, seg_end, place, _ in archive.location.in_range(tag_id, lo, end):
+            clipped_end = archive.last_boundary if seg_end < 0 else seg_end
+            span = min(clipped_end, end) - max(start, lo)
+            if span <= 0:
+                continue
+            totals[place] = totals.get(place, 0) + span
+            last_update = max(last_update, start)
+        rows = tuple(sorted(totals.items()))
+        return HistoryAnswer("dwell", rows, last_update)
+
+    def alerts(
+        self, name: str | None = None, lo: int = 0, hi: int = -1
+    ) -> HistoryAnswer:
+        """Alert rows overlapping ``[lo, hi]``, optionally by query name."""
+        archive = self.archive
+        end = hi if hi >= 0 else archive.last_boundary
+        rows = []
+        for name_id, key_id, start, alert_end, values in archive.alerts.rows():
+            query = archive.key_of(name_id)
+            if name is not None and query != name:
+                continue
+            if alert_end < lo or start > end:
+                continue
+            rows.append((query, archive.key_of(key_id), start, alert_end, values))
+        rows.sort()
+        last_update = max((row[2] for row in rows), default=-1)
+        return HistoryAnswer("alerts", tuple(rows), last_update)

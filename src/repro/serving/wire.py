@@ -1,0 +1,206 @@
+"""Wire codecs for the historical-query protocol.
+
+Two new envelope kinds carry serving traffic (see
+:mod:`repro.runtime.envelope` for the constants):
+
+* ``history-request`` — a :class:`HistoryRequest`: one historical query
+  addressed to a site, tagged with the frontend's request id;
+* ``history-response`` — a :class:`HistoryResponse`: the site's answer
+  rows plus ``as_of`` (the site's last archived boundary — the epoch
+  tag the frontend's result cache keys on) and ``last_update`` (when
+  the answering interval took effect — the freshness the frontend's
+  scatter-gather merge ranks sites by).
+
+Requests are deliberately *idempotent reads*: they carry no sequence
+number, and the frontend retransmits a request until its response
+arrives (deduplicating responses on the request id). That gives
+at-least-once semantics without entangling serving traffic with the
+cluster's barrier-driven ack/outbox machinery, and keeps the new
+ledger kinds fully separate from the paper's Table 5 data kinds.
+
+Every decoder raises :class:`ValueError` on malformed input — unknown
+query kinds, truncated varints, short float fields — never a bare
+decoder error.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, NamedTuple, TypeVar
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.sim.tags import EPC, read_opt_epc, write_opt_epc
+
+__all__ = [
+    "HISTORY_KINDS",
+    "HistoryRequest",
+    "HistoryResponse",
+    "encode_history_request",
+    "decode_history_request",
+    "encode_history_response",
+    "decode_history_response",
+]
+
+#: the historical-query kinds the protocol speaks.
+HISTORY_KINDS = (
+    "location",
+    "containment",
+    "trajectory",
+    "provenance",
+    "dwell",
+    "alerts",
+)
+
+T = TypeVar("T")
+
+
+def _decoded(label: str, decode: Callable[[], T]) -> T:
+    try:
+        return decode()
+    except ValueError:
+        raise
+    except (EOFError, struct.error, IndexError, OverflowError) as exc:
+        raise ValueError(f"malformed {label}: {exc}") from exc
+
+
+class HistoryRequest(NamedTuple):
+    """One historical query.
+
+    ``t0``/``t1`` are the query's time arguments (point queries use
+    ``t0``; range queries use ``[t0, t1)`` with ``t1 == -1`` meaning
+    unbounded), ``k`` the top-k width for posterior queries, and
+    ``name`` the alert-scan query-name filter (empty = all queries).
+    """
+
+    request_id: int
+    kind: str
+    tag: EPC | None
+    t0: int
+    t1: int = -1
+    k: int = 1
+    name: str = ""
+
+
+class HistoryResponse(NamedTuple):
+    """One site's answer to a :class:`HistoryRequest`."""
+
+    request_id: int
+    site: int
+    #: the site's last archived boundary when it answered (cache tag).
+    as_of: int
+    kind: str
+    #: when the answering interval took effect (-1 = no local answer);
+    #: the frontend picks the freshest site for point queries.
+    last_update: int
+    #: kind-specific rows, see :mod:`repro.serving.history`.
+    rows: tuple
+
+
+def encode_history_request(request: HistoryRequest) -> bytes:
+    if request.kind not in HISTORY_KINDS:
+        raise ValueError(f"unknown history query kind {request.kind!r}")
+    if request.k < 1:
+        raise ValueError("top-k width must be at least 1")
+    writer = ByteWriter()
+    writer.varint(request.request_id)
+    writer.varint(HISTORY_KINDS.index(request.kind))
+    write_opt_epc(writer, request.tag)
+    writer.svarint(request.t0)
+    writer.svarint(request.t1)
+    writer.varint(request.k)
+    writer.text(request.name)
+    return writer.getvalue()
+
+
+def decode_history_request(data: bytes) -> HistoryRequest:
+    def _decode() -> HistoryRequest:
+        reader = ByteReader(data)
+        request_id = reader.varint()
+        kind_index = reader.varint()
+        if kind_index >= len(HISTORY_KINDS):
+            raise ValueError(f"unknown history query kind index {kind_index}")
+        tag = read_opt_epc(reader)
+        t0 = reader.svarint()
+        t1 = reader.svarint()
+        k = reader.varint()
+        if k < 1:
+            raise ValueError("top-k width must be at least 1")
+        return HistoryRequest(
+            request_id, HISTORY_KINDS[kind_index], tag, t0, t1, k, reader.text()
+        )
+
+    return _decoded("history request", _decode)
+
+
+# -- per-kind row codecs ----------------------------------------------------
+
+
+def _write_rows(writer: ByteWriter, kind: str, rows: tuple) -> None:
+    writer.varint(len(rows))
+    for row in rows:
+        if kind == "location":
+            writer.svarint(row[0]).float64(row[1])
+        elif kind in ("containment", "provenance"):
+            write_opt_epc(writer, row[0])
+            writer.float64(row[1])
+        elif kind == "trajectory":
+            writer.varint(row[0]).svarint(row[1]).svarint(row[2])
+        elif kind == "dwell":
+            writer.svarint(row[0]).varint(row[1])
+        else:  # alerts
+            writer.text(row[0]).text(row[1]).varint(row[2]).varint(row[3])
+            writer.varint(len(row[4]))
+            for value in row[4]:
+                writer.float64(value)
+
+
+def _read_rows(reader: ByteReader, kind: str) -> tuple:
+    rows = []
+    for _ in range(reader.varint()):
+        if kind == "location":
+            rows.append((reader.svarint(), reader.float64()))
+        elif kind in ("containment", "provenance"):
+            rows.append((read_opt_epc(reader), reader.float64()))
+        elif kind == "trajectory":
+            rows.append((reader.varint(), reader.svarint(), reader.svarint()))
+        elif kind == "dwell":
+            rows.append((reader.svarint(), reader.varint()))
+        else:  # alerts
+            name = reader.text()
+            key = reader.text()
+            start = reader.varint()
+            end = reader.varint()
+            values = tuple(reader.float64() for _ in range(reader.varint()))
+            rows.append((name, key, start, end, values))
+    return tuple(rows)
+
+
+def encode_history_response(response: HistoryResponse) -> bytes:
+    if response.kind not in HISTORY_KINDS:
+        raise ValueError(f"unknown history query kind {response.kind!r}")
+    writer = ByteWriter()
+    writer.varint(response.request_id)
+    writer.svarint(response.site)
+    writer.varint(response.as_of)
+    writer.varint(HISTORY_KINDS.index(response.kind))
+    writer.svarint(response.last_update)
+    _write_rows(writer, response.kind, response.rows)
+    return writer.getvalue()
+
+
+def decode_history_response(data: bytes) -> HistoryResponse:
+    def _decode() -> HistoryResponse:
+        reader = ByteReader(data)
+        request_id = reader.varint()
+        site = reader.svarint()
+        as_of = reader.varint()
+        kind_index = reader.varint()
+        if kind_index >= len(HISTORY_KINDS):
+            raise ValueError(f"unknown history query kind index {kind_index}")
+        kind = HISTORY_KINDS[kind_index]
+        last_update = reader.svarint()
+        return HistoryResponse(
+            request_id, site, as_of, kind, last_update, _read_rows(reader, kind)
+        )
+
+    return _decoded("history response", _decode)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.archive import encode_archive
 from repro.core.service import ServiceConfig
 from repro.queries.q2 import TemperatureExposureQuery
 from repro.runtime import Cluster, FaultPlan, FaultyTransport, Transport
@@ -69,6 +70,12 @@ class ChaosResult:
     all_bytes: dict
     overhead_bytes: int
     duplicates_dropped: int
+    #: per-site historical archives, serialized — the time-travel store
+    #: a crashed-and-recovered site must rebuild bit-identically.
+    archives: list = None
+    #: sampled historical answers (point containment/location,
+    #: trajectory, dwell, provenance, alert scans) per site.
+    history: list = None
 
 
 def run_chaos(
@@ -117,7 +124,38 @@ def run_chaos(
             all_bytes=dict(cluster.network.bytes_by_kind),
             overhead_bytes=cluster.network.fault_overhead_bytes(),
             duplicates_dropped=sum(n.duplicates_dropped for n in cluster.nodes),
+            archives=[encode_archive(node.archive) for node in cluster.nodes],
+            history=[_history_probe(node, scenario) for node in cluster.nodes],
         )
+
+
+def _history_probe(node, scenario) -> list:
+    """Canonical time-travel answers served by one site's archive.
+
+    Probes every historical query kind at fixed tags and boundary
+    epochs, via the node's local :class:`HistoryService` (no envelopes,
+    so the ledger invariant stays untouched).
+    """
+    tags = sorted(scenario.catalog.frozen_items)[:6] + sorted(
+        scenario.catalog.freezer_cases
+    )[:2]
+    times = list(range(300, scenario.horizon + 1, 300))
+    history = node.history
+    out = []
+    for tag in tags:
+        for time in times:
+            out.append(("containment", str(tag), time,
+                        history.point_containment(tag, time, k=2).rows))
+            out.append(("location", str(tag), time,
+                        history.point_location(tag, time).rows))
+        out.append(("trajectory", str(tag),
+                    history.trajectory(tag, 0, scenario.horizon).rows))
+        out.append(("dwell", str(tag),
+                    history.dwell(tag, 0, scenario.horizon).rows))
+        out.append(("provenance", str(tag),
+                    history.provenance(tag, scenario.horizon - 1).rows))
+    out.append(("alerts", history.alerts().rows))
+    return out
 
 
 def chaos_plan(seed: int) -> FaultPlan:
@@ -139,6 +177,8 @@ def assert_chaos_invariant(
     assert chaotic.changes == baseline.changes
     assert chaotic.migrations == baseline.migrations
     assert chaotic.data_bytes == baseline.data_bytes
+    assert chaotic.history == baseline.history
+    assert chaotic.archives == baseline.archives
     if expect_overhead:
         assert chaotic.overhead_bytes > 0
         assert chaotic.all_bytes != baseline.all_bytes

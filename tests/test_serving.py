@@ -1,0 +1,271 @@
+"""Query-serving frontend: scatter-gather, caching, admission, retry.
+
+Runs a two-site cold chain once (module fixture) and serves historical
+queries against it over several transports, checking that federated
+answers agree with direct per-site :class:`HistoryService` reads, that
+the epoch-tagged cache hits and invalidates, and that the at-least-once
+retry loop survives a transport that drops serving traffic.
+"""
+
+import pytest
+
+from repro.core.service import ServiceConfig
+from repro.queries.q2 import TemperatureExposureQuery
+from repro.runtime import Cluster, InProcessTransport, ThreadedTransport
+from repro.runtime.envelope import HISTORY_REQUEST, Envelope
+from repro.serving import (
+    Backpressure,
+    HistoryRequest,
+    QueryFrontend,
+    ServingSession,
+)
+from repro.sim.tags import EPC, TagKind
+from repro.workloads.scenarios import cold_chain_scenario
+
+CONFIG = ServiceConfig(
+    run_interval=300,
+    recent_history=600,
+    truncation="cr",
+    emit_events=True,
+    event_period=5,
+)
+
+
+def make_scenario():
+    return cold_chain_scenario(
+        seed=29,
+        n_sites=2,
+        n_freezer_cases=4,
+        n_room_cases=2,
+        items_per_case=4,
+        n_exposures=2,
+        horizon=1200,
+        site_leave_time=600,
+    )
+
+
+def run_served(scenario, transport=None, frontend=None):
+    cluster = Cluster(scenario.traces, CONFIG, transport=transport)
+    cluster.add_query(
+        "q2",
+        lambda site: TemperatureExposureQuery(scenario.catalog, exposure_duration=400),
+    )
+    cluster.set_sensor_streams(
+        {site: scenario.sensor_stream(site) for site in range(len(scenario.traces))}
+    )
+    frontend = frontend if frontend is not None else QueryFrontend()
+    cluster.attach_frontend(frontend)
+    cluster.run(scenario.horizon)
+    return cluster, frontend
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_scenario()
+
+
+@pytest.fixture(scope="module")
+def served(scenario):
+    cluster, frontend = run_served(scenario)
+    yield cluster, frontend
+    cluster.close()
+
+
+def probe_tags(scenario):
+    return sorted(scenario.catalog.frozen_items)[:4] + [EPC(TagKind.CASE, 0)]
+
+
+class TestScatterGather:
+    def test_point_answers_pick_the_freshest_site(self, scenario, served):
+        cluster, frontend = served
+        session = frontend.session("audit")
+        for tag in probe_tags(scenario):
+            for time in (300, 600, 900, 1199):
+                result = session.containment(tag, time)
+                answers = {
+                    node.site: node.history.point_containment(tag, time)
+                    for node in cluster.nodes
+                }
+                with_rows = {s: a for s, a in answers.items() if a.rows}
+                if not with_rows:
+                    assert result.rows == ()
+                    continue
+                freshest = max(with_rows, key=lambda s: (with_rows[s].last_update, -s))
+                assert result.site == freshest
+                assert result.rows == with_rows[freshest].rows
+
+    def test_migrated_tag_answers_from_destination(self, scenario, served):
+        _, frontend = served
+        session = frontend.session()
+        case = EPC(TagKind.CASE, 0)
+        item = probe_tags(scenario)[0]
+        assert session.location(case, 1199).site == 1
+        assert session.location(case, 300).site == 0
+        assert session.containment(item, 1199).site == 1
+
+    def test_range_answers_pool_every_site(self, scenario, served):
+        cluster, frontend = served
+        session = frontend.session()
+        case = EPC(TagKind.CASE, 0)
+        result = session.trajectory(case, 0, 1200)
+        expected = sorted(
+            (
+                (node.site,) + row
+                for node in cluster.nodes
+                for row in node.history.trajectory(case, 0, 1200).rows
+            ),
+            key=lambda row: (row[1], row[0], row[2], row[3]),
+        )
+        assert list(result.rows) == expected
+        sites = {row[0] for row in result.rows}
+        assert sites == {0, 1}
+
+    def test_dwell_and_provenance_and_alerts(self, scenario, served):
+        _, frontend = served
+        session = frontend.session()
+        item = probe_tags(scenario)[0]
+        dwell = session.dwell(item, 0, 1200)
+        assert all(epochs > 0 for _, _, epochs in dwell.rows)
+        provenance = session.provenance(item, 900)
+        assert provenance.rows  # the item sits inside some case
+        alerts = session.alerts("q2")
+        assert all(row[1] == "q2" for row in alerts.rows)
+
+    def test_unknown_tag_is_empty_not_an_error(self, served):
+        _, frontend = served
+        session = frontend.session()
+        ghost = EPC(TagKind.ITEM, 999999)
+        assert session.containment(ghost, 600).rows == ()
+        assert session.trajectory(ghost, 0, 1200).rows == ()
+
+
+class TestCache:
+    def test_repeat_query_hits_and_append_invalidates(self, scenario, served):
+        cluster, frontend = served
+        session = frontend.session()
+        tag = probe_tags(scenario)[1]
+        before = frontend.stats.cache_hits
+        first = session.containment(tag, 750)
+        again = session.containment(tag, 750)
+        assert again == first
+        assert frontend.stats.cache_hits == before + 1
+        remote_before = frontend.stats.remote_requests
+        # A new append bumps the epoch vector: the entry is stale.
+        frontend.note_append(0, cluster.nodes[0].archive.last_boundary + 300)
+        refreshed = session.containment(tag, 750)
+        assert refreshed == first  # nothing actually changed on disk
+        assert frontend.stats.remote_requests > remote_before
+
+    def test_cache_capacity_is_bounded(self, scenario, served):
+        _, frontend = served
+        assert len(frontend._cache) <= frontend.cache_capacity
+
+
+class TestThreadedTransportEquivalence:
+    def test_answers_match_in_process(self, scenario, served):
+        _, in_process_frontend = served
+        cluster, frontend = run_served(scenario, transport=ThreadedTransport())
+        try:
+            baseline_session = in_process_frontend.session()
+            session = frontend.session()
+            for tag in probe_tags(scenario):
+                for time in (300, 900, 1199):
+                    assert session.containment(tag, time) == (
+                        baseline_session.containment(tag, time)
+                    )
+                assert session.trajectory(tag, 0, 1200) == (
+                    baseline_session.trajectory(tag, 0, 1200)
+                )
+            assert session.alerts() == baseline_session.alerts()
+        finally:
+            cluster.close()
+
+
+class FlakyServingTransport(InProcessTransport):
+    """Reliable for cluster traffic, drops the first serving requests."""
+
+    def __init__(self, drop_first: int) -> None:
+        super().__init__()
+        self.drop_first = drop_first
+        self.dropped = 0
+
+    def send(self, env: Envelope) -> None:
+        if env.kind == HISTORY_REQUEST and self.dropped < self.drop_first:
+            self.dropped += 1
+            self.ledger.send(env.src, env.dst, env.kind, env.payload)
+            return  # accounted, never delivered
+        super().send(env)
+
+
+class TestAtLeastOnce:
+    def test_frontend_retries_until_answered(self, scenario):
+        transport = FlakyServingTransport(drop_first=3)
+        cluster, frontend = run_served(scenario, transport=transport)
+        try:
+            session = frontend.session()
+            tag = probe_tags(scenario)[0]
+            result = session.containment(tag, 900)
+            assert result.rows  # answered despite the drops
+            assert transport.dropped == 3
+            assert frontend.stats.retransmits >= 3
+        finally:
+            cluster.close()
+
+    def test_gather_gives_up_after_round_limit(self, scenario):
+        class BlackHole(InProcessTransport):
+            def send(self, env: Envelope) -> None:
+                if env.kind == HISTORY_REQUEST:
+                    self.ledger.send(env.src, env.dst, env.kind, env.payload)
+                    return
+                super().send(env)
+
+        cluster, frontend = run_served(scenario, transport=BlackHole())
+        try:
+            frontend.MAX_ROUNDS = 3
+            with pytest.raises(RuntimeError, match="no response"):
+                frontend.session().containment(probe_tags(scenario)[0], 600)
+        finally:
+            cluster.close()
+
+
+class TestAdmissionControl:
+    def test_submit_beyond_limit_raises_backpressure(self, scenario, served):
+        cluster, frontend = served
+        small = QueryFrontend(max_in_flight=2, site_id=-4)
+        small.bind(cluster.transport, [node.site for node in cluster.nodes])
+        session = small.session("burst")
+        tag = probe_tags(scenario)[0]
+        session.submit(HistoryRequest(0, "containment", tag, 300))
+        session.submit(HistoryRequest(0, "containment", tag, 600))
+        with pytest.raises(Backpressure):
+            session.submit(HistoryRequest(0, "containment", tag, 900))
+        assert small.stats.rejected == 1
+        assert session.stats.rejected == 1
+        results = session.gather()
+        assert len(results) == 2 and all(r.rows for r in results)
+
+    def test_session_stats_track_queries(self, scenario, served):
+        _, frontend = served
+        session = frontend.session("tenant-a")
+        assert isinstance(session, ServingSession)
+        tag = probe_tags(scenario)[2]
+        session.containment(tag, 600)
+        session.containment(tag, 600)
+        assert session.stats.queries == 2
+        assert session.stats.cache_hits >= 1
+
+
+class TestFrontendGuards:
+    def test_unbound_frontend_refuses_queries(self):
+        frontend = QueryFrontend()
+        with pytest.raises(RuntimeError, match="not bound"):
+            frontend.session().containment(EPC(TagKind.ITEM, 1), 0)
+
+    def test_frontend_rejects_foreign_envelope_kinds(self, served):
+        _, frontend = served
+        with pytest.raises(ValueError, match="cannot handle"):
+            frontend.handle(Envelope(0, -3, "inference-state", b"", 0))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            QueryFrontend(max_in_flight=0)

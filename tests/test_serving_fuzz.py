@@ -1,0 +1,225 @@
+"""Property/fuzz tests for the archive codec and serving wire formats.
+
+Mirrors :mod:`tests.test_envelope_fuzz` for the new formats introduced
+with the historical archive:
+
+* **round trips** — random history requests/responses (every query
+  kind) and randomly-built site archives survive encode→decode;
+* **adversarial bytes** — every strict prefix of a valid encoding
+  raises :class:`ValueError`, and any single bit flip either decodes
+  cleanly or raises :class:`ValueError` — never ``EOFError``,
+  ``IndexError``, or ``struct.error``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archive import NO_CONTAINER, SiteArchive, decode_archive, encode_archive
+from repro.serving.wire import (
+    HISTORY_KINDS,
+    HistoryRequest,
+    HistoryResponse,
+    decode_history_request,
+    decode_history_response,
+    encode_history_request,
+    encode_history_response,
+)
+from repro.sim.tags import EPC, TagKind
+
+
+def epcs():
+    return st.builds(
+        EPC,
+        st.sampled_from([TagKind.PALLET, TagKind.CASE, TagKind.ITEM]),
+        st.integers(0, 2**20),
+    )
+
+
+def requests():
+    return st.builds(
+        HistoryRequest,
+        request_id=st.integers(0, 2**32),
+        kind=st.sampled_from(HISTORY_KINDS),
+        tag=st.one_of(st.none(), epcs()),
+        t0=st.integers(-1, 2**20),
+        t1=st.integers(-1, 2**20),
+        k=st.integers(1, 8),
+        name=st.text(max_size=12),
+    )
+
+
+def finite_floats():
+    return st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+def rows_for(kind):
+    if kind == "location":
+        row = st.tuples(st.integers(-5, 2**16), finite_floats())
+    elif kind in ("containment", "provenance"):
+        row = st.tuples(st.one_of(st.none(), epcs()), finite_floats())
+    elif kind == "trajectory":
+        row = st.tuples(
+            st.integers(0, 2**20), st.integers(-1, 2**20), st.integers(-5, 2**16)
+        )
+    elif kind == "dwell":
+        row = st.tuples(st.integers(-5, 2**16), st.integers(0, 2**20))
+    else:  # alerts
+        row = st.tuples(
+            st.text(max_size=8),
+            st.text(max_size=8),
+            st.integers(0, 2**20),
+            st.integers(0, 2**20),
+            st.tuples(finite_floats(), finite_floats()).map(tuple),
+        )
+    return st.lists(row, max_size=6).map(tuple)
+
+
+def responses():
+    return st.sampled_from(HISTORY_KINDS).flatmap(
+        lambda kind: st.builds(
+            HistoryResponse,
+            request_id=st.integers(0, 2**32),
+            site=st.integers(-4, 64),
+            as_of=st.integers(0, 2**20),
+            kind=st.just(kind),
+            last_update=st.integers(-1, 2**20),
+            rows=rows_for(kind),
+        )
+    )
+
+
+class TestRoundTrips:
+    @given(request=requests())
+    @settings(max_examples=80)
+    def test_history_request(self, request):
+        assert decode_history_request(encode_history_request(request)) == request
+
+    @given(response=responses())
+    @settings(max_examples=120)
+    def test_history_response(self, response):
+        assert decode_history_response(encode_history_response(response)) == response
+
+    def test_request_rejects_unknown_kind_and_bad_k(self):
+        with pytest.raises(ValueError, match="kind"):
+            encode_history_request(HistoryRequest(0, "nope", None, 0))
+        with pytest.raises(ValueError, match="top-k"):
+            encode_history_request(HistoryRequest(0, "location", None, 0, k=0))
+        with pytest.raises(ValueError, match="kind"):
+            encode_history_response(HistoryResponse(0, 0, 0, "nope", -1, ()))
+
+    @given(
+        moves=st.lists(
+            st.tuples(
+                st.integers(0, 5),  # tag serial
+                st.integers(0, 400),  # epoch
+                st.integers(0, 8),  # place / candidate
+                finite_floats(),
+            ),
+            max_size=20,
+        ),
+        seal_every=st.integers(1, 8),
+        seal_points=st.sets(st.integers(0, 19), max_size=4),
+    )
+    @settings(max_examples=60)
+    def test_archive_codec_round_trip(self, moves, seal_every, seal_points):
+        archive = SiteArchive(3, seal_every=seal_every, top_k=2)
+        for index, (serial, epoch, place, posterior) in enumerate(moves):
+            tag = archive.intern_tag(EPC(TagKind.ITEM, serial))
+            case = archive.intern_tag(EPC(TagKind.CASE, serial % 3))
+            epoch = epoch + index  # keep per-tag observations ordered
+            archive.location.observe(tag, epoch, ((place, 1.0),))
+            archive.containment.observe(
+                tag, epoch, ((case, abs(posterior) % 1.0),), value_only=True
+            )
+            archive.belief.observe(tag, epoch, ((case, posterior), (tag, 0.0)))
+            archive.events.append(epoch, tag, place, case)
+            archive.alerts.append(
+                archive.intern_key("q"), archive.intern_key(str(serial)),
+                epoch, epoch + 1, (posterior,),
+            )
+            archive.last_boundary = max(archive.last_boundary, epoch)
+            if index in seal_points:
+                archive.seal()
+        data = encode_archive(archive)
+        restored = decode_archive(data)
+        assert encode_archive(restored) == data
+        assert restored.row_count() == archive.row_count()
+        assert restored.tag_table == archive.tag_table
+        assert restored.key_table == archive.key_table
+
+
+def corpus():
+    """One representative valid encoding per decoder."""
+    tag = EPC(TagKind.ITEM, 7)
+    case = EPC(TagKind.CASE, 2)
+    archive = SiteArchive(1, seal_every=2, top_k=2)
+    tag_id = archive.intern_tag(tag)
+    case_id = archive.intern_tag(case)
+    for epoch, place in ((0, 3), (10, 4), (20, 5)):
+        archive.location.observe(tag_id, epoch, ((place, 1.0),))
+    archive.containment.observe(tag_id, 0, ((case_id, 0.75),))
+    archive.belief.observe(tag_id, 0, ((case_id, 0.75), (tag_id, 0.25)))
+    archive.events.append(5, tag_id, 3, NO_CONTAINER)
+    archive.alerts.append(
+        archive.intern_key("q2"), archive.intern_key(str(tag)), 1, 2, (0.5, 1.5)
+    )
+    archive.seal()
+    archive.alerts.append(
+        archive.intern_key("q2"), archive.intern_key(str(tag)), 3, 4, ()
+    )
+    archive.alert_cursors["q2"] = 2
+    archive.last_boundary = 20
+    entries = [
+        (
+            decode_history_request,
+            encode_history_request(HistoryRequest(9, "alerts", tag, 0, 100, 2, "q2")),
+        ),
+        (decode_archive, encode_archive(archive)),
+    ]
+    for kind, rows in (
+        ("location", ((3, 0.5), (4, 0.25))),
+        ("containment", ((case, 0.75), (None, 0.25))),
+        ("trajectory", ((0, 10, 3), (10, -1, 4))),
+        ("provenance", ((case, 0.9),)),
+        ("dwell", ((3, 10), (4, 20))),
+        ("alerts", (("q2", str(tag), 1, 2, (0.5, 1.5)),)),
+    ):
+        entries.append(
+            (
+                decode_history_response,
+                encode_history_response(HistoryResponse(9, 1, 20, kind, 5, rows)),
+            )
+        )
+    return entries
+
+
+def corpus_ids(value):
+    return getattr(value, "__name__", "")
+
+
+class TestAdversarialBytes:
+    @pytest.mark.parametrize("decode,data", corpus(), ids=corpus_ids)
+    def test_every_truncated_prefix_raises_value_error(self, decode, data):
+        for cut in range(len(data)):
+            with pytest.raises(ValueError):
+                decode(data[:cut])
+
+    @pytest.mark.parametrize("decode,data", corpus(), ids=corpus_ids)
+    def test_every_bit_flip_is_valueerror_or_clean(self, decode, data):
+        for pos in range(len(data)):
+            for bit in range(8):
+                corrupt = bytearray(data)
+                corrupt[pos] ^= 1 << bit
+                try:
+                    decode(bytes(corrupt))
+                except ValueError:
+                    pass  # the contract: ValueError, nothing rawer
+
+    @given(junk=st.binary(max_size=80))
+    @settings(max_examples=60)
+    def test_random_junk_never_leaks_decoder_errors(self, junk):
+        for decode, _ in corpus():
+            try:
+                decode(junk)
+            except ValueError:
+                pass

@@ -146,3 +146,48 @@ class TestActiveEpochs:
     def test_empty_range(self):
         spec = ReaderSpec("r", ReaderKind.SHELF, period=10)
         assert active_epochs(spec, 5, 5).size == 0
+
+
+class TestTraceReadingsMemoization:
+    """The ``Trace.readings`` compat property must build its tuple list
+    once — repeated audits/codec passes over the same trace used to pay
+    an O(n) rebuild per access."""
+
+    def _trace(self):
+        from repro.sim.layout import warehouse_layout
+        from repro.sim.readers import ReadRateModel
+        from repro.sim.trace import Reading, Trace
+
+        layout = warehouse_layout(name="memo")
+        model = ReadRateModel.build(layout, main_rate=0.8, seed=0)
+        rows = [Reading(t, EPC(TagKind.ITEM, t % 3), 0) for t in range(50)]
+        return Trace(0, layout, model, rows, horizon=50)
+
+    def test_readings_built_exactly_once(self, monkeypatch):
+        import repro.sim.trace as trace_module
+
+        trace = self._trace()
+        builds = 0
+        original = trace_module.Reading
+
+        class CountingReading(original):
+            def __new__(cls, *args, **kwargs):
+                nonlocal builds
+                builds += 1
+                return original.__new__(original, *args, **kwargs)
+
+        monkeypatch.setattr(trace_module, "Reading", CountingReading)
+        first = trace.readings
+        assert builds == len(trace)
+        second = trace.readings
+        assert builds == len(trace)  # no rebuild on the second access
+        assert second is first
+
+    def test_readings_round_trip_columns(self):
+        trace = self._trace()
+        assert [(r.time, r.tag, r.reader) for r in trace.readings] == [
+            (int(t), trace.tag_table[i], int(r))
+            for t, i, r in zip(
+                trace.times.tolist(), trace.tag_ids.tolist(), trace.readers.tolist()
+            )
+        ]
