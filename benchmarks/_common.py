@@ -72,6 +72,29 @@ def calibration_seconds() -> float:
     return time.perf_counter() - started
 
 
+def machine_info(worker_stats: list[dict] | None = None) -> dict:
+    """Hardware/topology context recorded in every bench JSON.
+
+    Baselines only compare meaningfully across machines when the worker
+    count and core count travel with the numbers; per-worker wall-time
+    skew shows how evenly a sharded run spread its load (1.0 = perfect).
+    """
+    info: dict = {
+        "cpu_count": os.cpu_count() or 1,
+        "n_workers": len(worker_stats) if worker_stats else 1,
+    }
+    if worker_stats:
+        walls = [s.get("busy_wall_seconds", 0.0) for s in worker_stats]
+        info["worker_wall_seconds"] = [round(w, 6) for w in walls]
+        info["worker_cpu_seconds"] = [
+            round(s.get("busy_cpu_seconds", 0.0), 6) for s in worker_stats
+        ]
+        info["worker_wall_skew"] = (
+            round(max(walls) / min(walls), 4) if min(walls) > 0 else None
+        )
+    return info
+
+
 def write_json(path: str, payload: dict) -> None:
     """Write a bench payload the way every committed baseline is kept."""
     with open(path, "w") as fh:
@@ -149,6 +172,9 @@ def bench_cli(
     parser.add_argument(budget_flag, type=float, default=budget_default, help=budget_help)
     args = parser.parse_args(argv)
     payload = build_payload(args.smoke)
+    # Benches that ran real workers record their own richer entry; the
+    # default records at least the core count and a single worker.
+    payload.setdefault("machine", machine_info())
     if args.output:
         write_json(args.output, payload)
         print(f"wrote {args.output}")

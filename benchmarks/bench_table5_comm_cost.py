@@ -36,7 +36,7 @@ from repro.distributed.centralized import CentralizedDeployment
 from repro.distributed.coordinator import DistributedDeployment
 from repro.distributed.network import FAULT_OVERHEAD_KINDS
 from repro.queries.tracking import PathDeviationQuery
-from repro.runtime import Cluster, FaultPlan, FaultyTransport
+from repro.runtime import Cluster, FaultPlan, FaultyTransport, ProcessTransport
 from repro.sim.supplychain import SupplyChainParams, simulate
 from repro.sim.warehouse import WarehouseParams
 
@@ -122,7 +122,8 @@ def run_sweep():
                 for src, dst, msgs, nbytes in batched_cluster.network.per_link_rows()
             ]
             fault_rows = fault_overhead_rows(result, query_config, batched_cluster)
-    return rows, bundling_rows, link_rows, fault_rows
+            worker_rows = sharded_worker_rows(result, query_config, batched_cluster)
+    return rows, bundling_rows, link_rows, fault_rows, worker_rows
 
 
 def fault_overhead_rows(result, config, reliable_cluster):
@@ -161,8 +162,31 @@ def fault_overhead_rows(result, config, reliable_cluster):
     return rows
 
 
+def sharded_worker_rows(result, config, reliable_cluster):
+    """Table 5e: the same run sharded across OS worker processes.
+
+    Per-kind bytes must match the in-process run exactly (zero-copy
+    handoff through the same codecs); the new rows are the ledger's
+    per-worker shard gauges — sites hosted, bytes delivered into and
+    originated out of each worker — plus the rebalance count.
+    """
+    with ProcessTransport(n_workers=2) as transport:
+        sharded_cluster, _ = run_federated(
+            result, config, batch=True, transport=transport
+        )
+        rows = [
+            [f"worker {w}", sites, f"{b_in:,}", f"{b_out:,}"]
+            for w, sites, b_in, b_out in sharded_cluster.network.worker_rows()
+        ]
+        rows.append(["rebalances", sharded_cluster.network.rebalances, "", ""])
+    assert dict(sharded_cluster.network.bytes_by_kind) == dict(
+        reliable_cluster.network.bytes_by_kind
+    )
+    return rows
+
+
 def test_table5_comm_cost(benchmark):
-    rows, bundling_rows, link_rows, fault_rows = benchmark.pedantic(
+    rows, bundling_rows, link_rows, fault_rows, worker_rows = benchmark.pedantic(
         run_sweep, rounds=1, iterations=1
     )
     emit_table(
@@ -185,6 +209,16 @@ def test_table5_comm_cost(benchmark):
         ["kind", "reliable", "faulty", "class"],
         fault_rows,
     )
+    emit_table(
+        "Table 5e per-worker shard gauges at top RR (2 OS workers)",
+        ["worker", "sites", "bytes in", "bytes out"],
+        worker_rows,
+    )
+    # Both workers hosted sites and moved bytes through the shard plane.
+    gauge_rows = worker_rows[:-1]
+    assert len(gauge_rows) == 2
+    for _, sites, b_in, b_out in gauge_rows:
+        assert sites >= 1 or int(str(b_in).replace(",", "")) > 0
     for row in rows:
         central = int(row[1].replace(",", ""))
         none = int(row[2].replace(",", ""))

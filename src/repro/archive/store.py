@@ -463,8 +463,14 @@ class SiteArchive:
                 state = ((self.intern_tag(container), posterior),)
             self.containment.observe(tag_id, boundary, state, value_only=True)
         for tag in sorted(service.last_weights):
+            weights = service.last_weights[tag]
+            if not weights:
+                # A tag can surface with zero containment candidates in
+                # its window (e.g. nothing co-located before it moved
+                # on); there is no posterior to log for it.
+                continue
             tag_id = self.intern_tag(tag)
-            posterior_list = _posteriors(service.last_weights[tag])
+            posterior_list = _posteriors(weights)
             top = sorted(posterior_list, key=lambda cp: (-cp[1], cp[0]))[: self.top_k]
             self.belief.observe(
                 tag_id,

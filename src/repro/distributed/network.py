@@ -64,6 +64,15 @@ class Network:
     #: Kept outside the byte kinds so Table 5's accounting is untouched.
     plan_operators_built: int = 0
     plan_operators_shared: int = 0
+    #: shard/worker load gauges (process-parallel transports): current
+    #: site count per worker, cumulative envelope bytes delivered into /
+    #: originated out of each worker's shard, and how many times the
+    #: rebalancer moved a site. Like the plan gauges these live outside
+    #: the byte kinds, so Table 5's accounting is untouched.
+    shard_sites: dict = field(default_factory=dict)
+    shard_bytes_in: Counter = field(default_factory=Counter)
+    shard_bytes_out: Counter = field(default_factory=Counter)
+    rebalances: int = 0
 
     def send(self, src: int, dst: int, kind: str, payload: bytes) -> bytes:
         """Deliver ``payload`` and account for its size."""
@@ -115,4 +124,35 @@ class Network:
         return [
             (src, dst, self.messages_by_link[(src, dst)], self.bytes_by_link[(src, dst)])
             for src, dst in self.links()
+        ]
+
+    # -- shard/worker breakdown -----------------------------------------------
+
+    def note_shard_sites(self, sites_by_worker: dict[int, int]) -> None:
+        """Record the current site count per worker (gauge, not a sum)."""
+        self.shard_sites = dict(sites_by_worker)
+
+    def note_shard_traffic(
+        self, worker: int, in_bytes: int = 0, out_bytes: int = 0
+    ) -> None:
+        self.shard_bytes_in[worker] += in_bytes
+        self.shard_bytes_out[worker] += out_bytes
+
+    def note_rebalance(self) -> None:
+        self.rebalances += 1
+
+    def worker_rows(self) -> list[tuple[int, int, int, int]]:
+        """``(worker, shard_sites, bytes_in, bytes_out)`` rows; empty
+        when no sharded transport fed the ledger."""
+        workers = sorted(
+            set(self.shard_sites) | set(self.shard_bytes_in) | set(self.shard_bytes_out)
+        )
+        return [
+            (
+                w,
+                self.shard_sites.get(w, 0),
+                self.shard_bytes_in[w],
+                self.shard_bytes_out[w],
+            )
+            for w in workers
         ]

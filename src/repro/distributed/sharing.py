@@ -148,22 +148,68 @@ class SharedStateBundle:
         return states
 
 
+#: Exact centroid selection costs O(n²) difflib passes. Beyond this
+#: bundle size the argmin runs over a deterministic stride sample of
+#: candidates and reference states instead: only the *choice* of
+#: centroid is approximated — every object's diff stays exact and the
+#: bundle stays lossless — so the worst case is a slightly larger wire
+#: bundle, never a wrong state. A 700-object bundle drops from ~250k
+#: pairwise diffs to at most CANDIDATE_CAP × REFERENCE_CAP.
+_EXACT_SELECTION_LIMIT = 32
+_CANDIDATE_CAP = 16
+_REFERENCE_CAP = 48
+
+
+def _stride_sample(seq: list, cap: int) -> list:
+    """Evenly spaced deterministic sample of ``seq`` (order-preserving)."""
+    if len(seq) <= cap:
+        return list(seq)
+    step = len(seq) / cap
+    return [seq[int(i * step)] for i in range(cap)]
+
+
+def _total_distance(candidate: bytes, reference_states: list[bytes]) -> int:
+    """Sum of byte distances from ``candidate`` to each reference.
+
+    One :class:`SequenceMatcher` is reused with the candidate pinned as
+    ``seq2`` so difflib builds the candidate's index once per call
+    instead of once per pair (``byte_distance`` is symmetric).
+    """
+    matcher = SequenceMatcher(None, b"", candidate, autojunk=False)
+    total = 0
+    for state in reference_states:
+        matcher.set_seq1(state)
+        matched = sum(block.size for block in matcher.get_matching_blocks())
+        total += (len(state) - matched) + (len(candidate) - matched)
+    return total
+
+
 def centroid_compress(states: dict[EPC, bytes]) -> SharedStateBundle:
-    """Pick the centroid (minimum total byte distance, O(n²)) and diff
-    every other state against it."""
+    """Pick the centroid (minimum total byte distance) and diff every
+    other state against it.
+
+    Selection is exact up to ``_EXACT_SELECTION_LIMIT`` objects and
+    stride-sampled above it (see the cap notes); both paths are fully
+    deterministic for a given ``states`` mapping, and reconstruction is
+    lossless either way.
+    """
     if not states:
         raise ValueError("no states to compress")
     tags = sorted(states)
     if len(tags) == 1:
         only = tags[0]
         return SharedStateBundle(only, states[only], {})
-    best_tag = tags[0]
+    if len(tags) <= _EXACT_SELECTION_LIMIT:
+        candidates, references = tags, tags
+    else:
+        candidates = _stride_sample(tags, _CANDIDATE_CAP)
+        references = _stride_sample(tags, _REFERENCE_CAP)
+    best_tag = candidates[0]
     best_cost = None
-    for candidate in tags:
-        cost = sum(
-            byte_distance(states[candidate], states[other])
-            for other in tags
-            if other != candidate
+    for candidate in candidates:
+        cost = _total_distance(
+            states[candidate],
+            [states[other] for other in references if other != candidate],
         )
         if best_cost is None or cost < best_cost:
             best_cost = cost

@@ -10,6 +10,10 @@ a :class:`~repro.runtime.cluster.Cluster`:
   query-state bundles;
 * :mod:`repro.runtime.transport` — deterministic in-process delivery or
   per-site worker threads with per-link inboxes;
+* :mod:`repro.runtime.process` — process-parallel shared-nothing
+  execution: logical sites sharded across forked OS workers, with
+  shared-memory handoff for bulk payloads and a ledger-driven shard
+  rebalancer;
 * :mod:`repro.runtime.node` — one site's inference service + continuous
   queries, reacting to messages;
 * :mod:`repro.runtime.router` — federated query routing: per-object
@@ -37,6 +41,7 @@ from repro.runtime.cluster import Cluster, ClusterSnapshot
 from repro.runtime.envelope import Envelope, MigrationEvent
 from repro.runtime.faults import FaultPlan, FaultyTransport, LinkFaults
 from repro.runtime.node import SiteNode
+from repro.runtime.process import ProcessTransport
 from repro.runtime.router import QueryRouter
 from repro.runtime.transport import InProcessTransport, ThreadedTransport, Transport
 
@@ -49,6 +54,7 @@ __all__ = [
     "InProcessTransport",
     "LinkFaults",
     "MigrationEvent",
+    "ProcessTransport",
     "QueryRouter",
     "SiteNode",
     "ThreadedTransport",

@@ -46,9 +46,32 @@ from repro.sim.tags import EPC, read_epc, read_opt_epc, write_epc, write_opt_epc
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.node import SiteNode
 
-__all__ = ["encode_site_checkpoint", "restore_site_checkpoint", "CHECKPOINT_VERSION"]
+__all__ = [
+    "encode_site_checkpoint",
+    "restore_site_checkpoint",
+    "peek_checkpoint_site",
+    "CHECKPOINT_VERSION",
+]
 
 CHECKPOINT_VERSION = 2
+
+
+def peek_checkpoint_site(data: bytes) -> int:
+    """Return the site id a checkpoint belongs to, without restoring it.
+
+    The shard rebalancer validates a snapshot/adopt pair with this
+    before any node state is touched.
+    """
+    try:
+        reader = ByteReader(data)
+        version = reader.varint()
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        return reader.svarint()
+    except ValueError:
+        raise
+    except (EOFError, struct.error, IndexError, OverflowError) as exc:
+        raise ValueError(f"malformed site checkpoint: {exc}") from exc
 
 
 def _write_weight_map(writer: ByteWriter, weights: dict[EPC, dict[EPC, float]]) -> None:

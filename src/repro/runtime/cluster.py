@@ -107,6 +107,14 @@ class Cluster:
         ]
         for node in self.nodes:
             node.bind(self.transport)
+        #: whether site state lives in worker processes: if so, the
+        #: cluster drives every node through named ops (RPC) instead of
+        #: direct method calls, and pulls worker state back at the end.
+        self._hosted = bool(getattr(self.transport, "hosts_sites", False))
+        self._ops = {node.site: self._site_ops_for(node) for node in self.nodes}
+        if self._hosted:
+            for site, ops in self._ops.items():
+                self.transport.host_site(site, ops)
         self._current_site: dict[EPC, int] = {}
         self.snapshots: list[ClusterSnapshot] = []
         self.last_boundary = 0
@@ -123,6 +131,46 @@ class Cluster:
         #: attached serving frontends, notified after each boundary's
         #: archive appends (epoch-tagged cache invalidation).
         self._frontends: list[Any] = []
+
+    def _site_ops_for(self, node: SiteNode) -> dict[str, Callable]:
+        """The named-op table the cluster drives one site through.
+
+        On an ordinary transport these run in-process (see
+        :meth:`_site_call` — identical to the old direct calls); on a
+        site-hosting transport the table crosses into a worker at fork
+        time and the same names are invoked by RPC. Bound methods and
+        lambdas are fine: the table is registered *before* the fork and
+        crosses by inheritance, never by pickle.
+        """
+        site = node.site
+        return {
+            # transport rebinding at fork time (worker outbox shim)
+            "attach": node.rebind_transport,
+            # interval schedule
+            "poll_arrivals": node.poll_arrivals,
+            "send": node.send,
+            "advance_to": node.advance_to,
+            "flush_query_handoffs": node.flush_query_handoffs,
+            # reliable barrier
+            "unacked_count": lambda: len(node.unacked_envelopes()),
+            "retransmit_unacked": node.retransmit_unacked,
+            # fault tolerance / rebalancing (checkpoint path)
+            "snapshot": node.snapshot,
+            "restore": node.restore,
+            "reset_fresh": lambda: node.reset(self._fresh_queries(site)),
+            # observation
+            "containment_probe": lambda tags: {
+                tag: node.service.containment.get(tag) for tag in tags
+            },
+            "seen": lambda: set(node.seen),
+            "archive_boundary": lambda: node.archive.last_boundary,
+        }
+
+    def _site_call(self, site: int, op: str, *args: object) -> object:
+        """Run one named op against ``site``, wherever its state lives."""
+        if self._hosted:
+            return self.transport.site_call(site, op, *args)
+        return self._ops[site][op](*args)
 
     # -- registration ------------------------------------------------------
 
@@ -152,7 +200,9 @@ class Cluster:
         frontend.bind(self.transport, [node.site for node in self.nodes])
         self._frontends.append(frontend)
         for node in self.nodes:
-            frontend.note_append(node.site, node.archive.last_boundary)
+            frontend.note_append(
+                node.site, self._site_call(node.site, "archive_boundary")
+            )
 
     # -- the interval schedule ---------------------------------------------
 
@@ -168,30 +218,47 @@ class Cluster:
             # run that covers their arrival readings (§4.1 — the new
             # site retrieves state when the object reaches it).
             for node in self.nodes:
-                fresh = node.poll_arrivals(boundary - interval, boundary)
+                fresh = self._site_call(
+                    node.site, "poll_arrivals", boundary - interval, boundary
+                )
                 self._route_arrivals(node, fresh, boundary)
                 self._sync()
-            # Then tick every site — concurrently under a threaded
-            # transport; the runs are independent given routed state.
+            # Then tick every site — concurrently under a threaded or
+            # process transport; the runs are independent given routed
+            # state.
             for node in self.nodes:
-                self.transport.dispatch(node.site, partial(node.advance_to, boundary))
+                if self._hosted:
+                    self.transport.site_cast(node.site, "advance_to", boundary)
+                else:
+                    self.transport.dispatch(
+                        node.site, partial(node.advance_to, boundary)
+                    )
             self._sync()
             # Finally hand off query state owed from this interval's
             # migrations: the origin's tick just processed the objects'
             # final local events, so the automaton state is now final.
             for node in self.nodes:
-                node.flush_query_handoffs(boundary)
+                self._site_call(node.site, "flush_query_handoffs", boundary)
                 self._sync()
             self.snapshots.append(self._snapshot(boundary))
             for frontend in self._frontends:
                 for node in self.nodes:
-                    frontend.note_append(node.site, node.archive.last_boundary)
+                    frontend.note_append(
+                        node.site, self._site_call(node.site, "archive_boundary")
+                    )
             self.last_boundary = boundary
             if self._fault_cursor < len(self._fault_events):
                 # Checkpoints are only needed while crash/recover events
                 # are still ahead; once the last one has been applied,
                 # per-boundary serialization would be pure waste.
                 self.checkpoint_all()
+            # Between intervals — at barrier quiescence — a sharded
+            # transport may reassign logical sites across its workers.
+            rebalance = getattr(self.transport, "maybe_rebalance", None)
+            if rebalance is not None:
+                rebalance()
+        if self._hosted:
+            self._sync_back()
 
     def _sync(self) -> None:
         """The reliable barrier: flush, then retransmit until acked.
@@ -208,10 +275,12 @@ class Cluster:
             return
         limit = getattr(self.transport, "sync_round_limit", self.MAX_SYNC_ROUNDS)
         for _ in range(limit):
-            if not any(node.unacked_envelopes() for node in self.nodes):
+            if not any(
+                self._site_call(node.site, "unacked_count") for node in self.nodes
+            ):
                 return
             for node in self.nodes:
-                node.retransmit_unacked()
+                self._site_call(node.site, "retransmit_unacked")
             self.transport.flush()
         raise RuntimeError(
             f"at-least-once delivery did not converge in {limit} "
@@ -235,8 +304,10 @@ class Cluster:
         if self.strategy != "collapsed":
             return
         for src, tags in sorted(by_source.items()):
-            node.send(
-                Envelope(site, src, MIGRATE_REQUEST, encode_tag_list(tags), boundary)
+            self._site_call(
+                site,
+                "send",
+                Envelope(site, src, MIGRATE_REQUEST, encode_tag_list(tags), boundary),
             )
             if self.migration_listener is not None:
                 self.migration_listener(src, site, tags, boundary)
@@ -283,18 +354,18 @@ class Cluster:
         ):
             _, _, op, site = self._fault_events[self._fault_cursor]
             self._fault_cursor += 1
-            node = by_site[site]
+            assert site in by_site
             if op == "crash":
                 if site in self._down:
                     raise RuntimeError(f"site {site} is already down")
-                node.reset(self._fresh_queries(site))
+                self._site_call(site, "reset_fresh")
                 self._down.add(site)
             else:
                 if site not in self._down:
                     raise RuntimeError(f"site {site} is not down; cannot recover")
                 checkpoint = self._checkpoints.get(site)
                 if checkpoint is not None:
-                    node.restore(checkpoint)
+                    self._site_call(site, "restore", checkpoint)
                 elif self.last_boundary:
                     # Recovering without a checkpoint is only sound
                     # before the first boundary (initial state *is* the
@@ -314,6 +385,23 @@ class Cluster:
     def _fresh_queries(self, site: int) -> dict[str, Any]:
         return {name: factory(site) for name, factory in self._query_factories.items()}
 
+    def _sync_back(self) -> None:
+        """Pull every worker-hosted site's state into the parent replicas.
+
+        Callers read results straight off the nodes after a run (query
+        alerts, archives, history, migration records, service changes) —
+        state that lives in the workers on a hosting transport. A site
+        checkpoint captures all of it, so the end-of-run pull is the
+        same bit-exact snapshot/restore path crash recovery and shard
+        rebalancing use: reset each parent replica with fresh query
+        instances (restore assumes empty automata), then restore the
+        worker's checkpoint into it.
+        """
+        for node in self.nodes:
+            data = self._site_call(node.site, "snapshot")
+            node.reset(self._fresh_queries(node.site))
+            node.restore(data)
+
     def checkpoint_all(self) -> dict[int, bytes]:
         """Checkpoint every site's full state; returns the snapshots.
 
@@ -322,7 +410,7 @@ class Cluster:
         the most recent boundary.
         """
         for node in self.nodes:
-            self._checkpoints[node.site] = node.snapshot()
+            self._checkpoints[node.site] = self._site_call(node.site, "snapshot")
         return dict(self._checkpoints)
 
     def fault_overhead_bytes(self) -> int:
@@ -330,16 +418,19 @@ class Cluster:
         return self.network.fault_overhead_bytes()
 
     def _snapshot(self, time: int) -> ClusterSnapshot:
-        services = {node.site: node.service for node in self.nodes}
+        by_site: dict[int, list[EPC]] = {}
+        for tag, site in self._current_site.items():
+            by_site.setdefault(site, []).append(tag)
         merged: dict[EPC, EPC | None] = {}
         known: set[EPC] = set()
-        for tag, site in self._current_site.items():
-            merged[tag] = services[site].containment.get(tag)
-            known.add(tag)
+        for site in sorted(by_site):
+            tags = by_site[site]
+            merged.update(self._site_call(site, "containment_probe", tags))
+            known.update(tags)
         if self.strategy == "none":
             # Without ONS traffic, ownership falls to the latest seen set.
             for node in self.nodes:
-                known.update(node.seen)
+                known.update(self._site_call(node.site, "seen"))
         return ClusterSnapshot(time, merged, known)
 
     # -- metrics -----------------------------------------------------------

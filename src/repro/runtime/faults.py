@@ -126,6 +126,16 @@ class FaultyTransport(Transport):
         super().__init__(None if inner is None else inner.ledger)
         self.plan = plan
         self.inner = inner if inner is not None else InProcessTransport(self.ledger)
+        if getattr(self.inner, "hosts_sites", False):
+            # A site-hosting inner runs nodes in worker processes, whose
+            # outgoing envelopes surface at the parent through the
+            # inner's egress hook — repoint it here so worker-origin
+            # traffic passes fault injection exactly like local sends.
+            # Workers also need their nodes on at-least-once delivery:
+            # `outer_reliable` is what the in-worker transport shim
+            # advertises to them (set before the fork, inherited by it).
+            self.inner.egress = self.send
+            self.inner.outer_reliable = False
         self._lock = threading.Lock()
         self._rngs: dict[tuple[int, int], np.random.Generator] = {}
         self._release_rng = spawn_rng(plan.seed, "faults", "release")
@@ -152,6 +162,29 @@ class FaultyTransport(Transport):
 
     def close(self) -> None:
         self.inner.close()
+
+    # -- site hosting (delegated to a process-parallel inner) ---------------
+
+    @property
+    def hosts_sites(self) -> bool:  # type: ignore[override]
+        return bool(getattr(self.inner, "hosts_sites", False))
+
+    def host_site(self, site, ops) -> None:
+        self.inner.host_site(site, ops)
+
+    def site_call(self, site: int, op: str, *args: object) -> object:
+        return self.inner.site_call(site, op, *args)
+
+    def site_cast(self, site: int, op: str, *args: object) -> None:
+        self.inner.site_cast(site, op, *args)
+
+    def maybe_rebalance(self) -> bool:
+        rebalance = getattr(self.inner, "maybe_rebalance", None)
+        return rebalance() if rebalance is not None else False
+
+    def worker_stats(self) -> list[dict]:
+        stats = getattr(self.inner, "worker_stats", None)
+        return stats() if stats is not None else []
 
     # -- fault injection ----------------------------------------------------
 

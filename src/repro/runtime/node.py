@@ -146,6 +146,16 @@ class SiteNode:
         self._transport = transport
         transport.register(self.site, self.handle)
 
+    def rebind_transport(self, transport: Transport) -> None:
+        """Swap the transport this node sends through, *without*
+        re-registering its handler.
+
+        Worker processes use this after the fork: the inherited binding
+        points at the parent-side transport object, but worker-side
+        sends must go to the worker's outbox shim instead (anything
+        duck-typing ``send``/``reliable`` is accepted)."""
+        self._transport = transport
+
     # -- crash recovery ---------------------------------------------------
 
     def reset(self, queries: Mapping[str, Any] | None = None) -> None:

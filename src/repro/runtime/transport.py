@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.distributed.network import Network
 from repro.runtime.envelope import Envelope
@@ -46,8 +46,39 @@ class Transport(ABC):
     #: which makes nodes keep an unacked outbox and emit acks.
     reliable: bool = True
 
+    #: whether registered site state lives in a different execution
+    #: domain than the caller (worker processes). When ``True`` the
+    #: cluster must drive sites through :meth:`site_call` /
+    #: :meth:`site_cast` named operations instead of direct method
+    #: calls or closures — closures cannot cross a process boundary.
+    hosts_sites: bool = False
+
     def __init__(self, ledger: Network | None = None) -> None:
         self.ledger = ledger if ledger is not None else Network()
+
+    # -- site hosting (process-parallel transports) ------------------------
+
+    def host_site(self, site: int, ops: Mapping[str, Callable]) -> None:
+        """Hand over ``site``'s named operations for remote execution.
+
+        Only meaningful on transports with ``hosts_sites = True``; the
+        ops table must be registered *before* the transport spawns its
+        workers (everything crosses the fork by inheritance, so
+        unpicklable closures and query factories are fine).
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not host sites")
+
+    def site_call(self, site: int, op: str, *args: object) -> object:
+        """Run a named op in ``site``'s domain and return its result."""
+        raise NotImplementedError(f"{type(self).__name__} does not host sites")
+
+    def site_cast(self, site: int, op: str, *args: object) -> None:
+        """Schedule a named op in ``site``'s domain without waiting.
+
+        Completion is observed at the next :meth:`flush` barrier; casts
+        to distinct workers run concurrently (this is the parallel tick
+        path)."""
+        raise NotImplementedError(f"{type(self).__name__} does not host sites")
 
     @abstractmethod
     def register(self, site: int, handler: Handler) -> None:
@@ -287,12 +318,24 @@ class ThreadedTransport(Transport):
                     f"{len(errors)} site worker(s) failed"
                 ) from errors[0]
 
+    #: how long :meth:`close` waits for each worker to stop. A class
+    #: attribute so tests exercising the stuck-worker path can shrink it.
+    CLOSE_TIMEOUT = 5.0
+
     def close(self) -> None:
-        if self._closed:
-            return
+        """Stop every worker thread. Idempotent — and *retryable*: a
+        worker that does not stop within :attr:`CLOSE_TIMEOUT` (e.g. a
+        handler still blocked when close is called) stays registered,
+        so a later close() tries again instead of clearing the registry
+        over a live thread and silently leaking it. Workers whose loops
+        already died (or that raised from a handler and kept looping)
+        join normally."""
         self._closed = True
         for worker in self._workers.values():
             worker.stop()
-        for worker in self._workers.values():
-            worker.join(timeout=5.0)
-        self._workers.clear()
+        remaining: dict[int, _SiteWorker] = {}
+        for site, worker in self._workers.items():
+            worker.join(timeout=self.CLOSE_TIMEOUT)
+            if worker.is_alive():
+                remaining[site] = worker
+        self._workers = remaining

@@ -173,6 +173,26 @@ class TestArchiveStore:
         with pytest.raises(ValueError, match="older boundary"):
             archive.ingest_service(Stub())
 
+    def test_ingest_tolerates_tag_with_no_candidates(self):
+        """A tag can surface with an empty candidate-weight table (zero
+        co-located containers in its window); the belief log skips it
+        instead of crashing on the empty normalization."""
+        archive = SiteArchive(0)
+        lonely = EPC(TagKind.ITEM, 1)
+        item = EPC(TagKind.ITEM, 2)
+        case = EPC(TagKind.CASE, 1)
+
+        class Stub:
+            last_run_time = 300
+            events = []
+            containment = {lonely: None, item: case}
+            last_weights = {lonely: {}, item: {case: -0.5}}
+
+        archive.ingest_service(Stub())
+        assert archive.last_boundary == 300
+        # The tag with real candidates still logged a belief row.
+        assert archive.tag_id_of(item) is not None
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             SiteArchive(0, seal_every=0)

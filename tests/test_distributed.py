@@ -117,6 +117,21 @@ class TestSharing:
         back = SharedStateBundle.from_bytes(bundle.to_bytes())
         assert back.reconstruct() == states
 
+    def test_large_bundle_lossless_and_deterministic(self):
+        # Above _EXACT_SELECTION_LIMIT the centroid is chosen from a
+        # stride sample; the bundle must stay lossless, deterministic,
+        # and still well-compressed for similar states.
+        common = bytes(range(64))
+        states = {
+            EPC(TagKind.ITEM, i): common + bytes([i % 256, (i * 7) % 256])
+            for i in range(100)
+        }
+        bundle = centroid_compress(states)
+        assert bundle.reconstruct() == states
+        assert bundle.to_bytes() == centroid_compress(dict(states)).to_bytes()
+        raw = sum(len(s) for s in states.values())
+        assert bundle.byte_size() < raw / 2
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             centroid_compress({})

@@ -12,6 +12,7 @@ from repro.runtime import (
     ClusterSnapshot,
     Envelope,
     InProcessTransport,
+    ProcessTransport,
     ThreadedTransport,
 )
 from repro.runtime.envelope import (
@@ -180,6 +181,193 @@ class TestThreadedTransport:
         with pytest.raises(RuntimeError):
             transport.send(Envelope(0, 0, "x", b""))
 
+    def test_close_after_handler_error(self):
+        """Regression: close() after a worker's handler raised must join
+        the (still looping) worker and stay idempotent — it used to rely
+        on callers never retrying."""
+        transport = ThreadedTransport()
+
+        def boom(env):
+            raise RuntimeError("kaboom")
+
+        transport.register(1, boom)
+        transport.send(Envelope(0, 1, "x", b""))
+        with pytest.raises(RuntimeError):
+            transport.flush()
+        transport.close()
+        assert transport._workers == {}
+        transport.close()  # second close is a no-op, not an error
+        assert transport._workers == {}
+
+    def test_close_retries_stuck_worker(self):
+        """Regression: a worker that outlives the close timeout must stay
+        registered so a later close() can actually reap it — the old
+        close cleared the registry over the live thread (leaking it) and
+        then early-returned on every retry."""
+        import threading
+
+        release = threading.Event()
+        transport = ThreadedTransport()
+        transport.CLOSE_TIMEOUT = 0.05
+        transport.register(1, lambda env: release.wait(timeout=30))
+        transport.register(2, lambda env: None)
+        transport.send(Envelope(0, 1, "x", b""))
+        transport.close()
+        # Site 2's idle worker joined; site 1's blocked worker did not.
+        assert list(transport._workers) == [1]
+        assert transport._workers[1].is_alive()
+        release.set()
+        transport.CLOSE_TIMEOUT = 5.0
+        transport.close()
+        assert transport._workers == {}
+
+
+def hosted_process_transport(n_sites=4, n_workers=2, **kwargs):
+    """A started ProcessTransport hosting ``n_sites`` trivial sites.
+
+    Each site's op table echoes values and serves a minimal (but valid)
+    site checkpoint header so ``move_site`` passes its peek validation;
+    ``adopt``'s reset/restore calls are absorbed by stubs.
+    """
+    from repro._util.encoding import ByteWriter
+    from repro.runtime.checkpoint import CHECKPOINT_VERSION
+
+    transport = ProcessTransport(n_workers=n_workers, **kwargs)
+
+    def fake_checkpoint(site):
+        writer = ByteWriter()
+        writer.varint(CHECKPOINT_VERSION)
+        writer.svarint(site)
+        return writer.getvalue()
+
+    for site in range(n_sites):
+        transport.register(site, lambda env: None)
+        transport.host_site(
+            site,
+            {
+                "attach": lambda shim: None,
+                "echo": lambda *args: args,
+                "blob_len": lambda blob: len(blob),
+                "make_blob": lambda n: bytes(range(256)) * (n // 256),
+                "boom": lambda: 1 // 0,
+                "snapshot": (lambda s: lambda: fake_checkpoint(s))(site),
+                "reset_fresh": lambda: None,
+                "restore": lambda blob: None,
+            },
+        )
+    return transport
+
+
+class TestProcessTransport:
+    def test_delivers_and_accounts_without_hosted_sites(self):
+        """With nothing hosted it degenerates to synchronous delivery."""
+        with ProcessTransport() as transport:
+            received = []
+            transport.register(1, received.append)
+            transport.send(Envelope(0, 1, "x", b"12345", time=7))
+            transport.flush()
+            assert len(received) == 1 and received[0].payload == b"12345"
+            assert transport.ledger.bytes_by_kind["x"] == 5
+            assert transport._workers == []  # never forked
+
+    def test_site_call_runs_locally_before_fork_and_remotely_after(self):
+        with hosted_process_transport() as transport:
+            assert transport.site_call(0, "echo", 1, "a") == (1, "a")
+            assert not transport._started
+            transport.site_cast(0, "echo", 1)  # first cast forks the workers
+            assert transport._started and len(transport._workers) == 2
+            assert transport.site_call(3, "echo", 2, "b") == (2, "b")
+            transport.flush()
+
+    def test_shard_map_round_robin_and_explicit(self):
+        with hosted_process_transport() as transport:
+            transport.site_cast(0, "echo")
+            assert transport.shard_map == {0: 0, 1: 1, 2: 0, 3: 1}
+        explicit = {0: 1, 1: 1, 2: 1, 3: 0}
+        with hosted_process_transport(shard_map=explicit) as transport:
+            transport.site_cast(0, "echo")
+            assert transport.shard_map == explicit
+
+    def test_shared_memory_blob_plane_round_trips(self):
+        """Payloads past the shm threshold cross intact, both ways."""
+        from repro.runtime.process import SHM_THRESHOLD
+
+        big = SHM_THRESHOLD * 2
+        with hosted_process_transport() as transport:
+            transport.site_cast(0, "echo")  # fork first
+            assert transport.site_call(1, "blob_len", b"\x07" * big) == big
+            blob = transport.site_call(1, "make_blob", big)
+            assert len(blob) == big and blob == bytes(range(256)) * (big // 256)
+
+    def test_worker_op_error_surfaces_with_traceback(self):
+        with hosted_process_transport() as transport:
+            transport.site_cast(0, "echo")
+            with pytest.raises(RuntimeError, match="ZeroDivisionError"):
+                transport.site_call(1, "boom")
+
+    def test_cast_error_surfaces_at_flush(self):
+        with hosted_process_transport() as transport:
+            transport.site_cast(1, "boom")
+            with pytest.raises(RuntimeError, match="ZeroDivisionError"):
+                transport.flush()
+
+    def test_move_site_updates_shard_and_gauges(self):
+        with hosted_process_transport() as transport:
+            transport.site_cast(0, "echo")
+            transport.move_site(0, 1)
+            assert transport.shard_map[0] == 1
+            assert transport.ledger.rebalances == 1
+            assert transport.ledger.shard_sites == {0: 1, 1: 3}
+            stats = {s["worker"]: s["hosted_sites"] for s in transport.worker_stats()}
+            assert stats == {0: [2], 1: [0, 1, 3]}
+            with pytest.raises(ValueError, match="no worker"):
+                transport.move_site(0, 9)
+
+    def test_rebalancer_moves_hottest_site_off_busiest_worker(self):
+        """Auto policy: per-site ledger byte deltas pick the move."""
+        with hosted_process_transport() as transport:
+            transport.site_cast(0, "echo")
+            # Worker 0 hosts {0, 2}; make site 0 dominate the traffic.
+            transport.ledger.send(0, 99, "data", b"x" * 100_000)
+            assert transport.maybe_rebalance() is True
+            assert transport.shard_map[0] == 1
+            assert transport.ledger.rebalances == 1
+            # Balanced traffic afterwards: no further move.
+            assert transport.maybe_rebalance() is False
+
+    def test_rebalancer_tolerates_balanced_load(self):
+        with hosted_process_transport() as transport:
+            transport.site_cast(0, "echo")
+            for site in range(4):
+                transport.ledger.send(site, 99, "data", b"x" * 1000)
+            assert transport.maybe_rebalance() is False
+            assert transport.ledger.rebalances == 0
+
+    def test_scheduled_move_fires_at_its_boundary(self):
+        with hosted_process_transport(scheduled_moves={2: (3, 0)}) as transport:
+            transport.site_cast(0, "echo")
+            assert transport.maybe_rebalance() is False
+            assert transport.maybe_rebalance() is True
+            assert transport.shard_map[3] == 0
+
+    def test_close_is_idempotent_and_rejects_sends(self):
+        transport = hosted_process_transport()
+        transport.site_cast(0, "echo")
+        transport.close()
+        transport.close()
+        assert transport._workers == []
+        with pytest.raises(RuntimeError, match="closed"):
+            transport.send(Envelope(0, 1, "x", b""))
+
+    def test_registration_closed_after_fork_for_hosting_only(self):
+        with hosted_process_transport() as transport:
+            transport.site_cast(0, "echo")
+            # Parent-resident handlers (e.g. a frontend) may still join...
+            transport.register(-3, lambda env: None)
+            # ...but new *hosted* sites cannot appear after the fork.
+            with pytest.raises(RuntimeError, match="forked"):
+                transport.host_site(-3, {"attach": lambda shim: None})
+
 
 @pytest.fixture(scope="module")
 def chain_config():
@@ -212,6 +400,34 @@ class TestClusterDeterminism:
             ]
             for a, b in zip(threaded.snapshots, inproc.snapshots):
                 assert a.time == b.time and a.containment == b.containment
+
+    def test_process_matches_inprocess(self, multi_site_chain, chain_config):
+        """Sharded OS workers preserve every observable result and byte."""
+        inproc = Cluster(multi_site_chain.traces, chain_config)
+        inproc.run(multi_site_chain.params.horizon)
+        with ProcessTransport(n_workers=2) as transport:
+            sharded = Cluster(
+                multi_site_chain.traces, chain_config, transport=transport
+            )
+            sharded.run(multi_site_chain.params.horizon)
+            assert sharded.containment_error(
+                multi_site_chain.truth
+            ) == inproc.containment_error(multi_site_chain.truth)
+            assert dict(sharded.network.bytes_by_kind) == dict(
+                inproc.network.bytes_by_kind
+            )
+            assert dict(sharded.network.bytes_by_link) == dict(
+                inproc.network.bytes_by_link
+            )
+            assert [m.tag for m in sharded.migrations] == [
+                m.tag for m in inproc.migrations
+            ]
+            for a, b in zip(sharded.snapshots, inproc.snapshots):
+                assert a.time == b.time and a.containment == b.containment
+            # The worker plane really ran: both shards moved bytes.
+            rows = sharded.network.worker_rows()
+            assert [row[0] for row in rows] == [0, 1]
+            assert all(row[2] > 0 and row[3] > 0 for row in rows)
 
 
 class TestBatchedMigration:
