@@ -5,21 +5,45 @@
   snapshot-consistent readers, fed at each inference boundary;
 * :mod:`repro.archive.codec` — the versioned binary format that lets an
   archive ride inside site checkpoints and survive crash recovery
-  bit-identically.
+  bit-identically;
+* :mod:`repro.archive.replication` — cursor-based incremental segment
+  replication so read replicas hold bit-identical archive copies;
+* :mod:`repro.archive.tiers` — tiered storage: hot pending rows, sealed
+  in-memory segments, and lazily-loaded on-disk segments behind an LRU
+  eviction policy.
 
 The serving layer (:mod:`repro.serving`) executes time-travel queries —
 point-in-time location/containment, trajectories, provenance, dwell,
-alert scans — against these archives.
+alert scans — against these archives (primary or replica).
 """
 
 from repro.archive.codec import ARCHIVE_VERSION, decode_archive, encode_archive
+from repro.archive.replication import (
+    REPLICATION_VERSION,
+    ReplicationCursor,
+    apply_archive_delta,
+    cursor_of,
+    decode_replica_fetch,
+    encode_archive_delta,
+    encode_replica_fetch,
+)
 from repro.archive.store import NO_CONTAINER, TOP_K, SiteArchive
+from repro.archive.tiers import DiskTier, TieredSegments
 
 __all__ = [
     "ARCHIVE_VERSION",
     "NO_CONTAINER",
+    "REPLICATION_VERSION",
     "TOP_K",
+    "DiskTier",
+    "ReplicationCursor",
     "SiteArchive",
+    "TieredSegments",
+    "apply_archive_delta",
+    "cursor_of",
     "decode_archive",
+    "decode_replica_fetch",
     "encode_archive",
+    "encode_archive_delta",
+    "encode_replica_fetch",
 ]

@@ -49,6 +49,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["SiteArchive", "NO_CONTAINER", "TOP_K"]
 
+
+def _fresh_segments(segments):
+    """An empty container of the same kind as ``segments``.
+
+    Plain in-memory logs use a ``list``; tiered logs use
+    :class:`~repro.archive.tiers.TieredSegments`, which must survive
+    compaction (``compact`` rebuilds the sealed-segment container).
+    """
+    fresh = getattr(segments, "fresh", None)
+    return fresh() if fresh is not None else []
+
+
+def _sealed_row_total(segments) -> int:
+    """Sealed-row count without materializing disk-resident segments."""
+    counts = getattr(segments, "row_counts", None)
+    if counts is not None:
+        return sum(counts())
+    return sum(len(seg[0]) for seg in segments)
+
 #: value sentinel for "contained by nothing" in containment columns.
 NO_CONTAINER = -1
 
@@ -165,7 +184,7 @@ class _IntervalLog:
                     continue
             merged.append(row)
         removed = len(rows) - len(merged)
-        self.segments = []
+        self.segments = _fresh_segments(self.segments)
         self.pending = merged
         self.seal()
         return removed
@@ -243,13 +262,13 @@ class _IntervalLog:
 
     def snapshot(self) -> "_IntervalLog":
         view = _IntervalLog(self.seal_every)
-        view.segments = list(self.segments)
+        view.segments = self.segments.copy()
         view.pending = list(self.pending)
         view.open = dict(self.open)
         return view
 
     def row_count(self) -> int:
-        return sum(len(seg[0]) for seg in self.segments) + len(self.pending)
+        return _sealed_row_total(self.segments) + len(self.pending)
 
 
 class _EventLog:
@@ -285,12 +304,12 @@ class _EventLog:
 
     def snapshot(self) -> "_EventLog":
         view = _EventLog(self.seal_every)
-        view.segments = list(self.segments)
+        view.segments = self.segments.copy()
         view.pending = list(self.pending)
         return view
 
     def row_count(self) -> int:
-        return sum(len(seg[0]) for seg in self.segments) + len(self.pending)
+        return _sealed_row_total(self.segments) + len(self.pending)
 
 
 class _AlertLog:
@@ -345,12 +364,12 @@ class _AlertLog:
 
     def snapshot(self) -> "_AlertLog":
         view = _AlertLog(self.seal_every)
-        view.segments = list(self.segments)
+        view.segments = self.segments.copy()
         view.pending = list(self.pending)
         return view
 
     def row_count(self) -> int:
-        return sum(len(seg[0]) for seg in self.segments) + len(self.pending)
+        return _sealed_row_total(self.segments) + len(self.pending)
 
 
 class SiteArchive:
@@ -366,6 +385,16 @@ class SiteArchive:
         self.top_k = top_k
         #: last boundary whose inference output has been ingested.
         self.last_boundary = 0
+        #: sealed-segment layout epoch. Appends (seal) only grow segment
+        #: lists, so a replication cursor taken within one generation
+        #: stays valid; :meth:`compact` rewrites the layout and bumps
+        #: this, forcing replicas holding old cursors to full-resync.
+        #: Volatile like ``_event_cursor``: not serialized by the codec,
+        #: so a restored archive restarts at generation 0.
+        self.generation = 0
+        #: optional :class:`~repro.archive.tiers.DiskTier` (see
+        #: :meth:`attach_tier`); None keeps everything in RAM.
+        self.tier = None
         #: interned tags, in first-encounter order (deterministic: ingest
         #: iterates service state sorted).
         self.tag_table: list[EPC] = []
@@ -509,11 +538,32 @@ class SiteArchive:
         self.alerts.seal()
 
     def compact(self) -> int:
-        """Merge adjacent same-value intervals; returns rows removed."""
+        """Merge adjacent same-value intervals; returns rows removed.
+
+        Rewrites the sealed-segment layout, so the archive's
+        ``generation`` is bumped and replication cursors taken before
+        the compaction become invalid (replicas full-resync).
+        """
         removed = 0
         for log in (self.location, self.containment, self.belief):
             removed += log.compact()
+        self.generation += 1
         return removed
+
+    def attach_tier(self, tier, hot_segments: int = 2) -> None:
+        """Move sealed segments onto a disk tier (see :mod:`repro.archive.tiers`).
+
+        Every log's sealed segments beyond the newest ``hot_segments``
+        spill to ``tier`` immediately; future seals spill automatically
+        as they age out of the hot window. Pending rows always stay in
+        RAM. Readers are unaffected — disk-resident segments load
+        lazily (and transparently) through the tier's LRU cache.
+        """
+        from repro.archive.tiers import TieredSegments
+
+        for log in (self.location, self.containment, self.belief, self.events, self.alerts):
+            log.segments = TieredSegments(tier, list(log.segments), hot_segments)
+        self.tier = tier
 
     def snapshot_reader(self) -> "SiteArchive":
         """A consistent read view: later appends do not affect it.
@@ -523,6 +573,8 @@ class SiteArchive:
         """
         view = SiteArchive(self.site, self.seal_every, self.top_k)
         view.last_boundary = self.last_boundary
+        view.generation = self.generation
+        view.tier = self.tier
         view.tag_table = list(self.tag_table)
         view._tag_ids = dict(self._tag_ids)
         view.key_table = list(self.key_table)

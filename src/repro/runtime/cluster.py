@@ -131,6 +131,9 @@ class Cluster:
         #: attached serving frontends, notified after each boundary's
         #: archive appends (epoch-tagged cache invalidation).
         self._frontends: list[Any] = []
+        #: attached archive read replicas, caught up after each
+        #: boundary's appends (incremental segment deltas).
+        self._replicas: list[Any] = []
 
     def _site_ops_for(self, node: SiteNode) -> dict[str, Callable]:
         """The named-op table the cluster drives one site through.
@@ -204,6 +207,21 @@ class Cluster:
                 node.site, self._site_call(node.site, "archive_boundary")
             )
 
+    def attach_replica(self, replica: Any) -> None:
+        """Wire a parent-resident :class:`~repro.serving.replica.ArchiveReplica`.
+
+        The replica registers on the cluster's transport, catches up
+        immediately (its primary serves ``replica-fetch`` envelopes),
+        and is re-synced after every boundary's archive appends — so
+        its answers track the primary with at most one boundary of lag
+        during an interval and zero lag between intervals. Replicas
+        hosted on transport workers are wired by hand instead (register
+        + ``host_site`` before the fork).
+        """
+        replica.bind(self.transport)
+        self._replicas.append(replica)
+        replica.catch_up()
+
     # -- the interval schedule ---------------------------------------------
 
     def run(self, horizon: int) -> None:
@@ -246,6 +264,8 @@ class Cluster:
                     frontend.note_append(
                         node.site, self._site_call(node.site, "archive_boundary")
                     )
+            for replica in self._replicas:
+                replica.catch_up()
             self.last_boundary = boundary
             if self._fault_cursor < len(self._fault_events):
                 # Checkpoints are only needed while crash/recover events

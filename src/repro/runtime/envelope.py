@@ -18,7 +18,12 @@ four message families of the paper's federation:
   by the :class:`~repro.serving.frontend.QueryFrontend`. Payload codecs
   live in :mod:`repro.serving.wire`; the kinds are declared here so the
   ledger accounts serving traffic separately from the paper's Table 5
-  data kinds.
+  data kinds;
+* ``replica-fetch`` / ``replica-segments`` — archive read-replica
+  catch-up: a replica sends its replication cursor, the primary answers
+  with the sealed segments past it (codecs in
+  :mod:`repro.archive.replication`). Separate kinds keep replication
+  bandwidth visible in the ledger next to serving traffic.
 
 Batched payloads reuse :func:`repro.distributed.sharing.centroid_compress`
 so one bundle per ``(src, dst)`` pair replaces a message per object.
@@ -51,6 +56,8 @@ __all__ = [
     "ONS_UPDATE",
     "HISTORY_REQUEST",
     "HISTORY_RESPONSE",
+    "REPLICA_FETCH",
+    "REPLICA_SEGMENTS",
     "ACK",
     "RETRANSMIT",
     "encode_tag_list",
@@ -73,6 +80,8 @@ ONS_LOOKUP = "ons-lookup"
 ONS_UPDATE = "ons-update"
 HISTORY_REQUEST = "history-request"
 HISTORY_RESPONSE = "history-response"
+REPLICA_FETCH = "replica-fetch"
+REPLICA_SEGMENTS = "replica-segments"
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,7 @@ from dataclasses import replace
 from typing import Any, Iterable, Mapping
 
 from repro.archive import SiteArchive
+from repro.archive.replication import decode_replica_fetch, encode_archive_delta
 from repro.core.collapsed import CollapsedState
 from repro.core.events import ObjectEvent
 from repro.core.service import ServiceConfig, StreamingInference
@@ -54,6 +55,8 @@ from repro.runtime.envelope import (
     INFERENCE_STATE,
     MIGRATE_REQUEST,
     QUERY_STATE,
+    REPLICA_FETCH,
+    REPLICA_SEGMENTS,
     Envelope,
     MigrationEvent,
     decode_ack,
@@ -351,6 +354,8 @@ class SiteNode:
             self._absorb_query_state(env)
         elif env.kind == HISTORY_REQUEST:
             self._serve_history(env)
+        elif env.kind == REPLICA_FETCH:
+            self._serve_replication(env)
         else:
             raise ValueError(f"site {self.site}: unknown message kind {env.kind!r}")
 
@@ -494,6 +499,22 @@ class SiteNode:
                 self.site, env.src, HISTORY_RESPONSE,
                 encode_history_response(response), env.time,
             )
+        )
+
+    def _serve_replication(self, env: Envelope) -> None:
+        """Answer a read replica's catch-up fetch with an archive delta.
+
+        Like history requests, fetches are idempotent and unsequenced:
+        the replica keeps re-fetching (with a fresh fetch id and its
+        current cursor) until a delta applies, so a lost response just
+        costs one more round. A cursor from before a compaction (or a
+        primary restart) falls back to a full-resync delta — see
+        :mod:`repro.archive.replication`.
+        """
+        fetch_id, cursor = decode_replica_fetch(env.payload)
+        delta = encode_archive_delta(self.archive, cursor, fetch_id)
+        self._require_transport().send(
+            Envelope(self.site, env.src, REPLICA_SEGMENTS, delta, env.time)
         )
 
     def _absorb_inference(self, env: Envelope) -> None:

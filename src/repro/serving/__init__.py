@@ -8,7 +8,16 @@
   payload codecs (ValueError-hardened like every wire format here);
 * :mod:`repro.serving.frontend` — :class:`QueryFrontend`: client-facing
   scatter-gather over the transport with an epoch-tagged result cache,
-  admission control, and :class:`ServingSession` handles.
+  admission control, batched execution, and :class:`ServingSession`
+  handles;
+* :mod:`repro.serving.replica` — :class:`ArchiveReplica`: read-only
+  archive copies (bit-identical via segment replication) answering in
+  their primary's name, plus :class:`ArchivePublisher` for serving
+  bare archives;
+* :mod:`repro.serving.routing` — consistent-hash endpoint/frontend
+  routing (:class:`HashRing`), multi-frontend pools
+  (:class:`FrontendPool`), and per-tenant admission policies
+  (:class:`TenantPolicy`).
 """
 
 from repro.serving.frontend import (
@@ -17,8 +26,17 @@ from repro.serving.frontend import (
     QueryFrontend,
     QueryResult,
     ServingSession,
+    ServingStats,
 )
 from repro.serving.history import HistoryAnswer, HistoryService
+from repro.serving.replica import (
+    REPLICA_SITE_BASE,
+    ArchivePublisher,
+    ArchiveReplica,
+    ReplicaStats,
+    replica_site_id,
+)
+from repro.serving.routing import FrontendPool, HashRing, PooledSession, TenantPolicy
 from repro.serving.wire import (
     HISTORY_KINDS,
     HistoryRequest,
@@ -32,16 +50,22 @@ from repro.serving.wire import (
 __all__ = [
     "FRONTEND_SITE",
     "HISTORY_KINDS",
+    "REPLICA_SITE_BASE",
+    "ArchivePublisher",
+    "ArchiveReplica",
     "Backpressure",
+    "FrontendPool",
+    "HashRing",
     "HistoryAnswer",
     "HistoryRequest",
     "HistoryResponse",
     "HistoryService",
+    "PooledSession",
     "QueryFrontend",
     "QueryResult",
+    "ReplicaStats",
     "ServingSession",
-    "decode_history_request",
-    "decode_history_response",
-    "encode_history_request",
-    "encode_history_response",
+    "ServingStats",
+    "TenantPolicy",
+    "replica_site_id",
 ]

@@ -23,10 +23,18 @@ All methods accept times in stream epochs and return a
 * ``provenance`` — the containment chain at ``t`` walked upward
   (item → case → pallet), one ``(container, posterior)`` row per hop.
 * ``dwell`` — ``(place, epochs)`` totals over the range; the open
-  interval is clipped at the archive's last boundary (the archive
-  cannot claim knowledge past what inference has processed).
+  interval is clipped just past the archive's last boundary (the
+  boundary epoch itself is archived knowledge; anything later is not).
 * ``alerts`` — ``(query, key, start, end, values)`` rows overlapping
   the range, optionally filtered by query name, in canonical order.
+
+Every range query shares one contract: the range is the half-open
+``[lo, hi)`` and ``hi == -1`` means "through everything archived",
+i.e. ``hi = last_boundary + 1`` so intervals starting exactly at the
+last boundary still contribute. ``trajectory``, ``dwell``, and
+``alerts`` all clip identically — the regression tests pin this, after
+the three drifted apart (dwell clipped one epoch short, alerts
+filtered inclusively).
 
 :meth:`HistoryService.snapshot` pins the service to a consistent
 archive view: appends that land after the snapshot do not change its
@@ -206,16 +214,22 @@ class HistoryService:
         return HistoryAnswer("trajectory", rows, last_update)
 
     def dwell(self, tag: EPC, lo: int, hi: int) -> HistoryAnswer:
-        """Epochs spent per place over ``[lo, hi)`` (``hi=-1``: open)."""
+        """Epochs spent per place over ``[lo, hi)`` (``hi=-1``: open).
+
+        Open ranges and the still-open interval both clip at
+        ``last_boundary + 1`` — the same bound :meth:`trajectory` uses,
+        so an interval starting exactly at the last boundary dwells for
+        one epoch instead of vanishing.
+        """
         archive = self.archive
         tag_id = archive.tag_id_of(tag)
-        end = hi if hi >= 0 else archive.last_boundary
+        end = hi if hi >= 0 else archive.last_boundary + 1
         if tag_id is None:
             return HistoryAnswer("dwell", (), -1)
         totals: dict[int, int] = {}
         last_update = -1
         for start, seg_end, place, _ in archive.location.in_range(tag_id, lo, end):
-            clipped_end = archive.last_boundary if seg_end < 0 else seg_end
+            clipped_end = archive.last_boundary + 1 if seg_end < 0 else seg_end
             span = min(clipped_end, end) - max(start, lo)
             if span <= 0:
                 continue
@@ -227,15 +241,22 @@ class HistoryService:
     def alerts(
         self, name: str | None = None, lo: int = 0, hi: int = -1
     ) -> HistoryAnswer:
-        """Alert rows overlapping ``[lo, hi]``, optionally by query name."""
+        """Alert rows overlapping ``[lo, hi)``, optionally by query name.
+
+        An alert covers the epochs ``[start, end]`` it was raised for
+        (zero-length for instantaneous route deviations); it matches
+        the query range iff it touches an epoch in ``[lo, hi)`` — the
+        same half-open contract as :meth:`trajectory`/:meth:`dwell`,
+        so an alert starting exactly at ``hi`` is excluded.
+        """
         archive = self.archive
-        end = hi if hi >= 0 else archive.last_boundary
+        end = hi if hi >= 0 else archive.last_boundary + 1
         rows = []
         for name_id, key_id, start, alert_end, values in archive.alerts.rows():
             query = archive.key_of(name_id)
             if name is not None and query != name:
                 continue
-            if alert_end < lo or start > end:
+            if alert_end < lo or start >= end:
                 continue
             rows.append((query, archive.key_of(key_id), start, alert_end, values))
         rows.sort()

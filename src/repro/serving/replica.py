@@ -1,0 +1,288 @@
+"""Read-only archive replicas: the serving tier's scale-out unit.
+
+An :class:`ArchiveReplica` holds a bit-identical copy of one primary
+site's :class:`~repro.archive.store.SiteArchive`, maintained by
+cursor-based segment replication (:mod:`repro.archive.replication`),
+and answers ``history-request`` envelopes **in the primary's name** —
+responses carry the primary's site id, so the frontend's merge, epoch
+vector, and retransmit bookkeeping are oblivious to which endpoint
+actually served the read.
+
+Catch-up is pull-based and idempotent: the replica sends a
+``replica-fetch`` carrying its cursor (and a fresh fetch id), the
+primary answers with a ``replica-segments`` delta, and the replica
+applies it. On a lossy transport a lost or stale delta just costs
+another round — :meth:`ArchiveReplica.catch_up` refetches with the
+*current* cursor until a fetch issued by this round lands. Deltas that
+no longer match the replica's state (e.g. a retransmitted duplicate
+after the original applied) are dropped and counted, never raised.
+
+Replicas can live in the parent process (bind on any transport) or be
+hosted on :class:`~repro.runtime.process.ProcessTransport` workers via
+:meth:`ArchiveReplica.ops` — the parent then drives catch-up with
+``site_cast(replica_id, "request_catchup")`` + ``flush()`` and can
+audit byte-identity with ``site_call(replica_id, "archive_bytes")``.
+
+:class:`ArchivePublisher` is the primary-side counterpart for archives
+that are *not* wrapped in a live :class:`~repro.runtime.node.SiteNode`
+(an offline store, a bench harness, a re-opened historical archive):
+it serves both history queries and replica fetches for a bare archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.archive.codec import encode_archive
+from repro.archive.replication import (
+    apply_archive_delta,
+    cursor_of,
+    decode_replica_fetch,
+    encode_archive_delta,
+    encode_replica_fetch,
+)
+from repro.archive.store import SiteArchive
+from repro.runtime.envelope import (
+    HISTORY_REQUEST,
+    HISTORY_RESPONSE,
+    REPLICA_FETCH,
+    REPLICA_SEGMENTS,
+    Envelope,
+)
+from repro.serving.history import HistoryService
+from repro.serving.wire import (
+    HistoryResponse,
+    decode_history_request,
+    encode_history_response,
+)
+
+__all__ = [
+    "ArchiveReplica",
+    "ArchivePublisher",
+    "REPLICA_SITE_BASE",
+    "ReplicaStats",
+    "replica_site_id",
+]
+
+#: synthetic site ids for replicas count down from here (frontends sit
+#: at -3 and below; leaving a wide gap keeps the ranges disjoint).
+REPLICA_SITE_BASE = -100
+
+
+def replica_site_id(primary: int, index: int, n_sites: int) -> int:
+    """A deterministic synthetic site id for replica ``index`` of ``primary``.
+
+    Packs (replica index, primary) into the id space below
+    :data:`REPLICA_SITE_BASE` so any number of replica sets over
+    ``n_sites`` primaries stay collision-free.
+    """
+    if not 0 <= primary < n_sites:
+        raise ValueError(f"primary {primary} outside [0, {n_sites})")
+    return REPLICA_SITE_BASE - (index * n_sites + primary)
+
+
+@dataclass
+class ReplicaStats:
+    """Replication and serving counters for one replica."""
+
+    fetches: int = 0
+    deltas_applied: int = 0
+    full_resyncs: int = 0
+    stale_deltas: int = 0
+    bytes_applied: int = 0
+    answered: int = 0
+    dropped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "fetches": self.fetches,
+            "deltas_applied": self.deltas_applied,
+            "full_resyncs": self.full_resyncs,
+            "stale_deltas": self.stale_deltas,
+            "bytes_applied": self.bytes_applied,
+            "answered": self.answered,
+            "dropped": self.dropped,
+        }
+
+
+def _serve_history(service: HistoryService, archive: SiteArchive,
+                   reply_as: int, src: int, transport, env: Envelope) -> None:
+    """Answer one history request; the response speaks for ``reply_as``."""
+    request = decode_history_request(env.payload)
+    answer = service.answer(request)
+    response = HistoryResponse(
+        request_id=request.request_id,
+        site=reply_as,
+        as_of=archive.last_boundary,
+        kind=answer.kind,
+        last_update=answer.last_update,
+        rows=answer.rows,
+    )
+    transport.send(
+        Envelope(src, env.src, HISTORY_RESPONSE, encode_history_response(response), env.time)
+    )
+
+
+class ArchiveReplica:
+    """A read replica of one primary site's archive."""
+
+    def __init__(
+        self,
+        primary: int,
+        site_id: int,
+        tier=None,
+        hot_segments: int = 2,
+    ) -> None:
+        if site_id > REPLICA_SITE_BASE:
+            raise ValueError(
+                f"replica site ids live at {REPLICA_SITE_BASE} and below, got {site_id}"
+            )
+        self.primary = primary
+        self.site_id = site_id
+        self.archive = SiteArchive(primary)
+        self.history = HistoryService(self.archive)
+        self._tier = tier
+        self._hot_segments = hot_segments
+        if tier is not None:
+            self.archive.attach_tier(tier, hot_segments)
+        self.stats = ReplicaStats()
+        self._transport = None
+        self._fetch_id = 0
+        self._applied_fetch = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, transport) -> None:
+        """Register on the transport (parent process or pre-fork)."""
+        self._transport = transport
+        transport.register(self.site_id, self.handle)
+
+    def rebind(self, transport) -> None:
+        """Repoint sends at a new transport (the worker shim on fork)."""
+        self._transport = transport
+
+    def ops(self) -> dict:
+        """Named ops for hosting this replica on a process worker."""
+        return {
+            "attach": self.rebind,
+            "request_catchup": self.request_catchup,
+            "caught_up": lambda: self.caught_up,
+            "last_boundary": lambda: self.archive.last_boundary,
+            "archive_bytes": lambda: encode_archive(self.archive),
+            "stats": self.stats.as_dict,
+        }
+
+    def _require_transport(self):
+        if self._transport is None:
+            raise RuntimeError(f"replica {self.site_id} is not bound to a transport")
+        return self._transport
+
+    # -- the envelope plane ------------------------------------------------
+
+    def handle(self, env: Envelope) -> None:
+        """History requests are answered, deltas applied, rest dropped."""
+        if env.kind == HISTORY_REQUEST:
+            _serve_history(
+                self.history, self.archive, self.primary,
+                self.site_id, self._require_transport(), env,
+            )
+            self.stats.answered += 1
+        elif env.kind == REPLICA_SEGMENTS:
+            self._apply_delta(env)
+        else:
+            self.stats.dropped += 1
+
+    def _apply_delta(self, env: Envelope) -> None:
+        try:
+            archive, fetch_id, full = apply_archive_delta(self.archive, env.payload)
+        except ValueError:
+            # Duplicate or out-of-date delta (its base no longer matches
+            # our cursor). The next fetch carries the current cursor.
+            self.stats.stale_deltas += 1
+            return
+        if full:
+            if self._tier is not None:
+                archive.attach_tier(self._tier, self._hot_segments)
+            self.archive = archive
+            self.history = HistoryService(archive)
+            self.stats.full_resyncs += 1
+        self.stats.deltas_applied += 1
+        self.stats.bytes_applied += len(env.payload)
+        if fetch_id > self._applied_fetch:
+            self._applied_fetch = fetch_id
+
+    # -- catch-up ----------------------------------------------------------
+
+    def request_catchup(self) -> int:
+        """Send one fetch for everything past our cursor; returns its id."""
+        self._fetch_id += 1
+        payload = encode_replica_fetch(self._fetch_id, cursor_of(self.archive))
+        self._require_transport().send(
+            Envelope(
+                self.site_id, self.primary, REPLICA_FETCH,
+                payload, self.archive.last_boundary,
+            )
+        )
+        self.stats.fetches += 1
+        return self._fetch_id
+
+    @property
+    def caught_up(self) -> bool:
+        """Has the newest fetch we issued been answered and applied?"""
+        return self._applied_fetch >= self._fetch_id
+
+    def catch_up(self, max_rounds: int = 64) -> int:
+        """Fetch + flush until converged; returns rounds used.
+
+        Each round refetches with the replica's *current* cursor and a
+        fresh fetch id, so lost fetches, lost deltas, and stale deltas
+        all just cost extra rounds on a lossy transport.
+        """
+        transport = self._require_transport()
+        for round_index in range(max_rounds):
+            self.request_catchup()
+            transport.flush()
+            if self.caught_up:
+                return round_index + 1
+        raise RuntimeError(
+            f"replica {self.site_id} not caught up with primary "
+            f"{self.primary} after {max_rounds} rounds"
+        )
+
+
+class ArchivePublisher:
+    """Primary-side serving of a bare archive (no live inference node).
+
+    Registers under the archive's own site id and answers both
+    ``history-request`` and ``replica-fetch`` envelopes, which makes a
+    finished (or re-opened) archive a first-class member of a serving
+    federation. Unknown kinds are dropped and counted.
+    """
+
+    def __init__(self, archive: SiteArchive) -> None:
+        self.archive = archive
+        self.site = archive.site
+        self.history = HistoryService(archive)
+        self._transport = None
+        self.dropped = 0
+
+    def bind(self, transport) -> None:
+        self._transport = transport
+        transport.register(self.site, self.handle)
+
+    def handle(self, env: Envelope) -> None:
+        if self._transport is None:
+            raise RuntimeError(f"publisher {self.site} is not bound to a transport")
+        if env.kind == HISTORY_REQUEST:
+            _serve_history(
+                self.history, self.archive, self.site,
+                self.site, self._transport, env,
+            )
+        elif env.kind == REPLICA_FETCH:
+            fetch_id, cursor = decode_replica_fetch(env.payload)
+            delta = encode_archive_delta(self.archive, cursor, fetch_id)
+            self._transport.send(
+                Envelope(self.site, env.src, REPLICA_SEGMENTS, delta, env.time)
+            )
+        else:
+            self.dropped += 1

@@ -1,0 +1,252 @@
+"""Serving-tier routing: consistent hashing, frontend pools, tenants.
+
+Three small pieces that turn the single-frontend serving path into a
+horizontally scalable tier:
+
+* :class:`HashRing` — deterministic consistent hashing (blake2b, so
+  placement is stable across processes and runs — ``hash()`` is salted
+  per interpreter and useless here). Used both to pick which archive
+  endpoint (primary or replica) serves a given tag and to partition
+  tags across frontends.
+* :class:`TenantPolicy` — per-tenant admission limits layered on the
+  frontend's global ``max_in_flight``: an optional in-flight ``quota``
+  and a ``priority`` (negative = background traffic, shed once the
+  frontend is at half capacity so interactive tenants keep headroom).
+* :class:`FrontendPool` — N :class:`~repro.serving.frontend.QueryFrontend`\\ s
+  behind one facade, each registered as its own synthetic site on the
+  shared transport, with per-tag consistent-hash routing between them
+  (so each tag's cache entries concentrate on one frontend instead of
+  being duplicated N times).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = ["HashRing", "TenantPolicy", "FrontendPool", "PooledSession"]
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit ring position for ``token``."""
+    return int.from_bytes(hashlib.blake2b(token.encode(), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent hashing over a fixed set of endpoints.
+
+    Each endpoint owns ``vnodes`` points on a 64-bit ring; a key routes
+    to the first endpoint point at or after its own hash. Placement is
+    deterministic and nearly uniform, and removing one endpoint only
+    remaps the keys it owned.
+    """
+
+    def __init__(self, endpoints: Sequence[int], vnodes: int = 64) -> None:
+        endpoints = list(endpoints)
+        if not endpoints:
+            raise ValueError("hash ring needs at least one endpoint")
+        if len(set(endpoints)) != len(endpoints):
+            raise ValueError("hash ring endpoints must be unique")
+        if vnodes < 1:
+            raise ValueError("vnodes must be positive")
+        self.endpoints = tuple(endpoints)
+        points = [
+            (_point(f"{endpoint}#{v}"), endpoint)
+            for endpoint in endpoints
+            for v in range(vnodes)
+        ]
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def route(self, key: str) -> int:
+        """The endpoint owning ``key``."""
+        return self.owners(key, 1)[0]
+
+    def owners(self, key: str, count: int = 1) -> tuple[int, ...]:
+        """The first ``count`` distinct endpoints at or after ``key``.
+
+        Walking the ring past the owner yields each key's stable
+        fallback order — the basis for two-choice load balancing (pick
+        the less-loaded of ``owners(key, 2)``) and for failover.
+        """
+        if count < 1:
+            raise ValueError("count must be positive")
+        index = bisect.bisect_right(self._hashes, _point(key))
+        out: list[int] = []
+        for step in range(len(self._hashes)):
+            owner = self._owners[(index + step) % len(self._hashes)]
+            if owner not in out:
+                out.append(owner)
+                if len(out) == count:
+                    break
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits for one tenant.
+
+    ``quota`` caps the tenant's own in-flight queries (None = only the
+    frontend's global limit applies). ``priority < 0`` marks background
+    traffic: it is admitted only while the frontend is under half of
+    ``max_in_flight``, so bursts of bulk audits cannot starve
+    interactive tenants.
+    """
+
+    quota: int | None = None
+    priority: int = 0
+
+
+class FrontendPool:
+    """N query frontends behind one facade, partitioned by tag.
+
+    Every frontend registers its own synthetic site id on the shared
+    transport (``base_site``, descending), sees every site's appends,
+    and owns the cache for the tags the pool's ring assigns it.
+    """
+
+    def __init__(
+        self,
+        size: int = 2,
+        max_in_flight: int = 64,
+        cache_capacity: int = 1024,
+        base_site: int | None = None,
+    ) -> None:
+        from repro.serving.frontend import FRONTEND_SITE, QueryFrontend
+
+        if size < 1:
+            raise ValueError("pool needs at least one frontend")
+        base = FRONTEND_SITE if base_site is None else base_site
+        self.frontends = [
+            QueryFrontend(max_in_flight, cache_capacity, site_id=base - i)
+            for i in range(size)
+        ]
+        self._by_site = {frontend.site_id: frontend for frontend in self.frontends}
+        self._ring = HashRing([frontend.site_id for frontend in self.frontends])
+        self._sessions = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(
+        self,
+        transport,
+        sites: Sequence[int],
+        replicas: Mapping[int, Sequence[int]] | None = None,
+        read_preference: str = "any",
+    ) -> None:
+        for frontend in self.frontends:
+            frontend.bind(transport, sites, replicas, read_preference)
+
+    def note_append(self, site: int, boundary: int) -> None:
+        for frontend in self.frontends:
+            frontend.note_append(site, boundary)
+
+    def set_tenant_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        for frontend in self.frontends:
+            frontend.set_tenant_policy(tenant, policy)
+
+    # -- routing ----------------------------------------------------------
+
+    def frontend_for(self, key) -> "QueryFrontend":  # noqa: F821 - lazy import
+        """The frontend owning ``key`` (a tag or query name)."""
+        return self._by_site[self._ring.route(str(key))]
+
+    def _frontend_of(self, request) -> "QueryFrontend":  # noqa: F821
+        return self.frontend_for(request.tag if request.tag is not None else request.name)
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self, request):
+        return self._frontend_of(request).execute(request)
+
+    def execute_many(self, requests, tenant: str | None = None) -> list:
+        """Partition a batch across the pool, preserving request order."""
+        requests = list(requests)
+        groups: dict[int, list[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(self._frontend_of(request).site_id, []).append(index)
+        results = [None] * len(requests)
+        for site_id, indices in groups.items():
+            batch = [requests[i] for i in indices]
+            for i, result in zip(indices, self._by_site[site_id].execute_many(batch, tenant)):
+                results[i] = result
+        return results
+
+    def session(self, name: str | None = None, tenant: str | None = None) -> "PooledSession":
+        self._sessions += 1
+        label = name if name is not None else f"pool-session-{self._sessions}"
+        return PooledSession(self, label, tenant)
+
+    # -- accounting -------------------------------------------------------
+
+    def stats(self):
+        """Pool-wide counters (sum over frontends)."""
+        from repro.serving.frontend import ServingStats
+
+        total = ServingStats()
+        for frontend in self.frontends:
+            stats = frontend.stats
+            total.queries += stats.queries
+            total.cache_hits += stats.cache_hits
+            total.remote_requests += stats.remote_requests
+            total.retransmits += stats.retransmits
+            total.rejected += stats.rejected
+            total.dropped += stats.dropped
+        return total
+
+
+class PooledSession:
+    """A client session over a :class:`FrontendPool`.
+
+    Mirrors :class:`~repro.serving.frontend.ServingSession`'s query
+    API, routing each call to the tag's owning frontend; one underlying
+    session per touched frontend carries the per-tenant stats.
+    """
+
+    def __init__(self, pool: FrontendPool, name: str, tenant: str | None = None) -> None:
+        self.pool = pool
+        self.name = name
+        self.tenant = tenant
+        self._sessions: dict[int, object] = {}
+
+    def _session_for(self, key):
+        frontend = self.pool.frontend_for(key)
+        session = self._sessions.get(frontend.site_id)
+        if session is None:
+            session = frontend.session(
+                f"{self.name}@{frontend.site_id}", tenant=self.tenant
+            )
+            self._sessions[frontend.site_id] = session
+        return session
+
+    def location(self, tag, time: int, k: int = 1):
+        return self._session_for(tag).location(tag, time, k)
+
+    def containment(self, tag, time: int, k: int = 1):
+        return self._session_for(tag).containment(tag, time, k)
+
+    def trajectory(self, tag, lo: int, hi: int = -1):
+        return self._session_for(tag).trajectory(tag, lo, hi)
+
+    def provenance(self, tag, time: int):
+        return self._session_for(tag).provenance(tag, time)
+
+    def dwell(self, tag, lo: int, hi: int = -1):
+        return self._session_for(tag).dwell(tag, lo, hi)
+
+    def alerts(self, name: str = "", lo: int = 0, hi: int = -1):
+        return self._session_for(name).alerts(name, lo, hi)
+
+    def stats(self):
+        """Session-wide counters (sum over per-frontend sessions)."""
+        from repro.serving.frontend import ServingStats
+
+        total = ServingStats()
+        for session in self._sessions.values():
+            total.queries += session.stats.queries
+            total.cache_hits += session.stats.cache_hits
+            total.rejected += session.stats.rejected
+        return total

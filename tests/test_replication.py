@@ -1,0 +1,220 @@
+"""Segment replication: cursors, deltas, catch-up, byte-identity.
+
+The replication contract (ISSUE 7 acceptance): after catch-up a
+replica's archive is **bit-identical** to its primary —
+``encode_archive(replica) == encode_archive(primary)`` — and stays so
+across incremental growth, compaction (generation bump → full resync),
+replica crash+rejoin, and seeded chaos transports that drop, duplicate,
+delay, and reorder the replication envelopes themselves.
+"""
+
+import os
+
+import pytest
+
+from repro.archive import SiteArchive, encode_archive
+from repro.archive.replication import (
+    ZERO_CURSOR,
+    apply_archive_delta,
+    cursor_of,
+    decode_replica_fetch,
+    encode_archive_delta,
+    encode_replica_fetch,
+)
+from repro.runtime import FaultPlan, FaultyTransport, InProcessTransport
+from repro.runtime.envelope import REPLICA_SEGMENTS, Envelope
+from repro.serving import (
+    ArchivePublisher,
+    ArchiveReplica,
+    REPLICA_SITE_BASE,
+    replica_site_id,
+)
+from repro.sim.tags import EPC, TagKind
+
+# CHAOS_SEED (CI matrix) replaces the built-in seeds, mirroring
+# tests/test_fault_tolerance.py.
+CHAOS_SEEDS = (
+    [int(os.environ["CHAOS_SEED"])] if os.environ.get("CHAOS_SEED") else [11, 23, 47]
+)
+
+
+def build_archive(site: int = 0, tags: int = 5, boundaries: int = 4) -> SiteArchive:
+    """A small synthetic archive touching every log kind."""
+    archive = SiteArchive(site, seal_every=8)
+    grow_archive(archive, 0, boundaries, tags=tags)
+    return archive
+
+
+def grow_archive(
+    archive: SiteArchive, first: int, boundaries: int, tags: int = 5
+) -> None:
+    """Append ``boundaries`` more inference boundaries' worth of rows."""
+    case = archive.intern_tag(EPC(TagKind.CASE, 900))
+    name_id = archive.intern_key("q-test")
+    for b in range(first, first + boundaries):
+        time = b * 100
+        for i in range(tags):
+            tid = archive.intern_tag(EPC(TagKind.ITEM, i))
+            place = (b + i) % 3
+            archive.location.observe(tid, time, ((place, 1.0),), value_only=True)
+            archive.containment.observe(tid, time, ((case, 0.9),), value_only=True)
+            archive.belief.observe(tid, time, ((case, 0.8), (tid, 0.2)))
+            archive.events.append(time, tid, place, case)
+            if time > archive.last_event.get(tid, -1):
+                archive.last_event[tid] = time
+        key_id = archive.intern_key(f"alert-{b}")
+        archive.alerts.append(name_id, key_id, time, time + 10, (float(b), 1.5))
+        archive.alert_cursors["q-test"] = b + 1
+        archive.last_boundary = time
+    archive.seal()
+
+
+def assert_identical(replica: ArchiveReplica, primary: SiteArchive) -> None:
+    assert encode_archive(replica.archive) == encode_archive(primary)
+
+
+class TestDeltaCodec:
+    def test_fetch_roundtrip(self):
+        archive = build_archive()
+        cursor = cursor_of(archive)
+        fetch_id, decoded = decode_replica_fetch(encode_replica_fetch(7, cursor))
+        assert fetch_id == 7
+        assert decoded == cursor
+
+    def test_full_delta_builds_identical_archive(self):
+        primary = build_archive()
+        delta = encode_archive_delta(primary, ZERO_CURSOR, fetch_id=1)
+        rebuilt, fetch_id, full = apply_archive_delta(None, delta)
+        assert fetch_id == 1 and full
+        assert encode_archive(rebuilt) == encode_archive(primary)
+
+    def test_incremental_delta_is_smaller_and_identical(self):
+        primary = build_archive()
+        replica, _, _ = apply_archive_delta(
+            None, encode_archive_delta(primary, ZERO_CURSOR)
+        )
+        cursor = cursor_of(replica)
+        grow_archive(primary, 4, 2)
+        incremental = encode_archive_delta(primary, cursor)
+        full = encode_archive_delta(primary, ZERO_CURSOR)
+        assert len(incremental) < len(full)
+        applied, _, was_full = apply_archive_delta(replica, incremental)
+        assert applied is replica and not was_full
+        assert encode_archive(replica) == encode_archive(primary)
+
+    def test_duplicate_delta_raises_not_corrupts(self):
+        primary = build_archive()
+        replica, _, _ = apply_archive_delta(
+            None, encode_archive_delta(primary, ZERO_CURSOR)
+        )
+        cursor = cursor_of(replica)
+        grow_archive(primary, 4, 1)
+        delta = encode_archive_delta(primary, cursor)
+        apply_archive_delta(replica, delta)
+        before = encode_archive(replica)
+        with pytest.raises(ValueError, match="does not match"):
+            apply_archive_delta(replica, delta)
+        assert encode_archive(replica) == before  # rejected before mutation
+
+    def test_malformed_delta_raises_valueerror(self):
+        primary = build_archive()
+        delta = encode_archive_delta(primary, ZERO_CURSOR)
+        for mangled in (b"", b"\xff" * 8, delta[: len(delta) // 2]):
+            with pytest.raises(ValueError):
+                apply_archive_delta(None, mangled)
+        with pytest.raises(ValueError):
+            decode_replica_fetch(b"\x02junk")
+
+    def test_compaction_forces_full_resync(self):
+        primary = build_archive()
+        replica, _, _ = apply_archive_delta(
+            None, encode_archive_delta(primary, ZERO_CURSOR)
+        )
+        cursor = cursor_of(replica)
+        primary.compact()
+        delta = encode_archive_delta(primary, cursor)
+        rebuilt, _, full = apply_archive_delta(replica, delta)
+        assert full and rebuilt is not replica
+        assert encode_archive(rebuilt) == encode_archive(primary)
+
+
+class TestReplicaService:
+    def wire(self, transport=None):
+        transport = transport if transport is not None else InProcessTransport()
+        primary = build_archive()
+        publisher = ArchivePublisher(primary)
+        publisher.bind(transport)
+        replica = ArchiveReplica(primary.site, replica_site_id(primary.site, 0, 1))
+        replica.bind(transport)
+        return transport, primary, replica
+
+    def test_site_id_validation(self):
+        with pytest.raises(ValueError, match="below"):
+            ArchiveReplica(0, REPLICA_SITE_BASE + 1)
+        with pytest.raises(ValueError, match="outside"):
+            replica_site_id(2, 0, 2)
+        # Distinct (index, primary) pairs never collide.
+        ids = {replica_site_id(p, r, 3) for p in range(3) for r in range(4)}
+        assert len(ids) == 12 and all(i <= REPLICA_SITE_BASE for i in ids)
+
+    def test_catchup_reaches_identity_and_is_incremental(self):
+        _, primary, replica = self.wire()
+        assert replica.catch_up() == 1
+        assert_identical(replica, primary)
+        grow_archive(primary, 4, 2)
+        first_bytes = replica.stats.bytes_applied
+        replica.catch_up()
+        assert_identical(replica, primary)
+        # The second round shipped a delta, not the whole archive again.
+        assert replica.stats.bytes_applied - first_bytes < first_bytes
+        assert replica.stats.full_resyncs == 0
+
+    def test_compaction_resync_through_the_service(self):
+        _, primary, replica = self.wire()
+        replica.catch_up()
+        primary.compact()
+        grow_archive(primary, 4, 1)
+        replica.catch_up()
+        assert replica.stats.full_resyncs == 1
+        assert_identical(replica, primary)
+
+    def test_replica_crash_and_rejoin(self):
+        transport, primary, replica = self.wire()
+        replica.catch_up()
+        grow_archive(primary, 4, 2)
+        # The replica process dies; a fresh instance (empty archive,
+        # zero cursor) takes over its duties and converges from scratch.
+        rejoined = ArchiveReplica(primary.site, replica_site_id(primary.site, 1, 1))
+        rejoined.bind(transport)
+        rejoined.catch_up()
+        assert_identical(rejoined, primary)
+
+    def test_foreign_envelope_kinds_are_dropped(self):
+        _, primary, replica = self.wire()
+        replica.handle(Envelope(0, replica.site_id, "inference-state", b"", 0))
+        replica.handle(Envelope(0, replica.site_id, REPLICA_SEGMENTS, b"\xff" * 4, 0))
+        assert replica.stats.dropped == 1
+        assert replica.stats.stale_deltas == 1
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_chaos_catchup_identity(self, seed):
+        """Drops, duplicates, delays, reordering — identity regardless.
+
+        Includes crash+catch-up: a replica that loses all state rejoins
+        over the same chaotic links and still converges bit-identically.
+        """
+        plan = FaultPlan.chaos(seed, drop=0.25, duplicate=0.2, delay=0.25, max_delay=3)
+        transport, primary, replica = self.wire(FaultyTransport(plan))
+        replica.catch_up()
+        assert_identical(replica, primary)
+        for step in range(3):
+            grow_archive(primary, 4 + 2 * step, 2)
+            replica.catch_up()
+            assert_identical(replica, primary)
+        primary.compact()
+        replica.catch_up()
+        assert_identical(replica, primary)
+        rejoined = ArchiveReplica(primary.site, replica_site_id(primary.site, 1, 1))
+        rejoined.bind(transport)
+        rejoined.catch_up()
+        assert_identical(rejoined, primary)

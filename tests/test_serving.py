@@ -7,18 +7,25 @@ the epoch-tagged cache hits and invalidates, and that the at-least-once
 retry loop survives a transport that drops serving traffic.
 """
 
+import threading
+
 import pytest
 
+from repro.archive import SiteArchive
 from repro.core.service import ServiceConfig
 from repro.queries.q2 import TemperatureExposureQuery
 from repro.runtime import Cluster, InProcessTransport, ThreadedTransport
-from repro.runtime.envelope import HISTORY_REQUEST, Envelope
+from repro.runtime.envelope import HISTORY_REQUEST, HISTORY_RESPONSE, Envelope
 from repro.serving import (
+    ArchivePublisher,
+    ArchiveReplica,
     Backpressure,
     HistoryRequest,
     QueryFrontend,
     ServingSession,
+    replica_site_id,
 )
+from repro.serving.history import HistoryService
 from repro.sim.tags import EPC, TagKind
 from repro.workloads.scenarios import cold_chain_scenario
 
@@ -141,7 +148,15 @@ class TestScatterGather:
 
 class TestCache:
     def test_repeat_query_hits_and_append_invalidates(self, scenario, served):
-        cluster, frontend = served
+        cluster, _ = served
+        # A dedicated frontend: the synthetic note_append below announces
+        # a boundary that never materializes, which (correctly) keeps
+        # every later fill born-stale — that must not leak into the
+        # shared fixture's frontend.
+        frontend = QueryFrontend(site_id=-5)
+        frontend.bind(cluster.transport, [node.site for node in cluster.nodes])
+        for node in cluster.nodes:
+            frontend.note_append(node.site, node.archive.last_boundary)
         session = frontend.session()
         tag = probe_tags(scenario)[1]
         before = frontend.stats.cache_hits
@@ -222,7 +237,7 @@ class TestAtLeastOnce:
         cluster, frontend = run_served(scenario, transport=BlackHole())
         try:
             frontend.MAX_ROUNDS = 3
-            with pytest.raises(RuntimeError, match="no response"):
+            with pytest.raises(RuntimeError, match="missing responses"):
                 frontend.session().containment(probe_tags(scenario)[0], 600)
         finally:
             cluster.close()
@@ -237,12 +252,19 @@ class TestAdmissionControl:
         tag = probe_tags(scenario)[0]
         session.submit(HistoryRequest(0, "containment", tag, 300))
         session.submit(HistoryRequest(0, "containment", tag, 600))
+        queries_before = small.stats.queries
         with pytest.raises(Backpressure):
             session.submit(HistoryRequest(0, "containment", tag, 900))
         assert small.stats.rejected == 1
         assert session.stats.rejected == 1
+        # A rejected submission still counts as a query at BOTH levels,
+        # so frontend- and session-level rejection rates agree.
+        assert small.stats.queries == queries_before + 1
+        assert session.stats.queries == 1
         results = session.gather()
         assert len(results) == 2 and all(r.rows for r in results)
+        assert session.stats.queries == 3
+        assert small.stats.queries == queries_before + 3
 
     def test_session_stats_track_queries(self, scenario, served):
         _, frontend = served
@@ -261,11 +283,208 @@ class TestFrontendGuards:
         with pytest.raises(RuntimeError, match="not bound"):
             frontend.session().containment(EPC(TagKind.ITEM, 1), 0)
 
-    def test_frontend_rejects_foreign_envelope_kinds(self, served):
+    def test_foreign_envelope_kinds_are_dropped_not_raised(self, scenario, served):
+        """A misrouted envelope must not kill an unrelated gather."""
         _, frontend = served
-        with pytest.raises(ValueError, match="cannot handle"):
-            frontend.handle(Envelope(0, -3, "inference-state", b"", 0))
+        before = frontend.stats.dropped
+        frontend.handle(Envelope(0, -3, "inference-state", b"", 0))
+        frontend.handle(Envelope(0, -3, HISTORY_REQUEST, b"", 0))
+        frontend.handle(Envelope(0, -3, HISTORY_RESPONSE, b"\xff\xff\xff\xff", 0))
+        assert frontend.stats.dropped == before + 3
+        # The frontend still serves queries afterwards.
+        result = frontend.session().containment(probe_tags(scenario)[0], 900)
+        assert result.rows
 
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
             QueryFrontend(max_in_flight=0)
+
+
+def boundary_archive():
+    """An archive whose interesting rows sit exactly on the boundary.
+
+    The last boundary is 600; a location interval *opens* there, one
+    alert *starts* there, and another alert *ends* just before a probe
+    point — the cases where the three range queries used to disagree.
+    """
+    archive = SiteArchive(0, seal_every=4)
+    tag = EPC(TagKind.ITEM, 1)
+    tid = archive.intern_tag(tag)
+    archive.location.observe(tid, 0, ((7, 1.0),))
+    archive.location.observe(tid, 600, ((8, 1.0),))  # seals [0,600)@7, opens @8
+    name_id = archive.intern_key("q")
+    archive.alerts.append(name_id, archive.intern_key("at-boundary"), 600, 605, (1.0,))
+    archive.alerts.append(name_id, archive.intern_key("early"), 100, 200, (2.0,))
+    archive.last_boundary = 600
+    return archive, tag
+
+
+class TestRangeBoundarySemantics:
+    """Regression pins for the unified half-open ``[lo, hi)`` contract.
+
+    ``hi == -1`` means ``last_boundary + 1`` for trajectory, dwell, AND
+    alerts — dwell used to clip one epoch short (an interval opening at
+    the last boundary dwelt zero epochs) and alerts used to filter
+    inclusively (a row starting exactly at ``hi`` leaked in).
+    """
+
+    def test_open_range_equals_explicit_boundary_plus_one(self):
+        archive, tag = boundary_archive()
+        service = HistoryService(archive)
+        hi = archive.last_boundary + 1
+        assert service.trajectory(tag, 0, -1) == service.trajectory(tag, 0, hi)
+        assert service.dwell(tag, 0, -1) == service.dwell(tag, 0, hi)
+        assert service.alerts("q", 0, -1) == service.alerts("q", 0, hi)
+
+    def test_interval_opening_at_last_boundary_dwells_one_epoch(self):
+        archive, tag = boundary_archive()
+        service = HistoryService(archive)
+        dwell = dict(service.dwell(tag, 0, -1).rows)
+        assert dwell == {7: 600, 8: 1}  # place 8 no longer vanishes
+        trajectory = service.trajectory(tag, 0, -1).rows
+        assert (600, -1, 8) in trajectory
+
+    def test_alert_starting_at_hi_is_excluded(self):
+        archive, tag = boundary_archive()
+        service = HistoryService(archive)
+        keys = lambda answer: [row[1] for row in answer.rows]
+        # Half-open upper bound: start == hi is out, start == hi-1 is in.
+        assert keys(service.alerts("q", 0, 600)) == ["early"]
+        assert keys(service.alerts("q", 0, 601)) == ["at-boundary", "early"]
+        # Overlap lower bound: an alert is in while it still touches lo.
+        assert keys(service.alerts("q", 605, -1)) == ["at-boundary"]
+        assert keys(service.alerts("q", 606, -1)) == []
+
+    def test_dwell_clips_open_interval_to_explicit_hi(self):
+        archive, tag = boundary_archive()
+        service = HistoryService(archive)
+        assert dict(service.dwell(tag, 590, 600).rows) == {7: 10}
+        assert dict(service.dwell(tag, 590, 601).rows) == {7: 10, 8: 1}
+
+
+def synthetic_federation(transport=None):
+    """Two tiny synthetic archives behind publishers — fast fixtures for
+    cache-behaviour tests that need precise control over boundaries."""
+    from tests.test_replication import build_archive
+
+    transport = transport if transport is not None else InProcessTransport()
+    archives = [build_archive(site=s) for s in range(2)]
+    for archive in archives:
+        ArchivePublisher(archive).bind(transport)
+    return transport, archives
+
+
+class AppendMidGather(InProcessTransport):
+    """Delivers an epoch bump to the frontend while a gather is in flight."""
+
+    def __init__(self):
+        super().__init__()
+        self.bump = None  # (frontend, site, boundary)
+
+    def send(self, env):
+        if self.bump is not None and env.kind == HISTORY_REQUEST:
+            frontend, site, boundary = self.bump
+            self.bump = None
+            frontend.note_append(site, boundary)
+        super().send(env)
+
+
+class TestCacheStaleness:
+    def test_entry_born_stale_is_never_served(self):
+        transport, archives = synthetic_federation(AppendMidGather())
+        frontend = QueryFrontend(site_id=-9)
+        frontend.bind(transport, [0, 1])
+        for archive in archives:
+            frontend.note_append(archive.site, archive.last_boundary)
+        tag = EPC(TagKind.ITEM, 0)
+        session = frontend.session()
+        # The append lands between admission and the responses: the
+        # filled entry is tagged with the pre-append vector, so it is
+        # stale the moment it is born.
+        transport.bump = (frontend, 0, archives[0].last_boundary + 300)
+        session.containment(tag, 150)
+        remote_before = frontend.stats.remote_requests
+        hits_before = frontend.stats.cache_hits
+        session.containment(tag, 150)  # must refetch, not hit
+        assert frontend.stats.remote_requests > remote_before
+        assert frontend.stats.cache_hits == hits_before
+
+    def test_lagging_replica_cannot_mask_new_rows(self):
+        from tests.test_replication import grow_archive
+
+        transport, archives = synthetic_federation()
+        replica = ArchiveReplica(0, replica_site_id(0, 0, 2))
+        replica.bind(transport)
+        replica.catch_up()
+        frontend = QueryFrontend(site_id=-9)
+        frontend.bind(transport, [0, 1], replicas={0: [replica.site_id]},
+                      read_preference="replica")
+        # The primary moves on; the replica does NOT catch up. The
+        # frontend hears about the new boundary.
+        grow_archive(archives[0], 4, 2)
+        for archive in archives:
+            frontend.note_append(archive.site, archive.last_boundary)
+        tag = EPC(TagKind.ITEM, 0)
+        session = frontend.session()
+        session.containment(tag, 150)  # served by the lagging replica
+        remote_before = frontend.stats.remote_requests
+        session.containment(tag, 150)  # entry was tagged with the lag
+        assert frontend.stats.remote_requests > remote_before
+        assert frontend.stats.cache_hits == 0
+        # Once the replica catches up, the entry finally sticks.
+        replica.catch_up()
+        session.containment(tag, 150)
+        assert session.containment(tag, 150).rows
+        assert frontend.stats.cache_hits >= 1
+
+    def test_replica_backed_hits_equal_primary_answers(self):
+        transport, archives = synthetic_federation()
+        replica = ArchiveReplica(0, replica_site_id(0, 0, 2))
+        replica.bind(transport)
+        replica.catch_up()
+        replicated = QueryFrontend(site_id=-9)
+        replicated.bind(transport, [0, 1], replicas={0: [replica.site_id]},
+                        read_preference="replica")
+        primary_only = QueryFrontend(site_id=-10)
+        primary_only.bind(transport, [0, 1])
+        for frontend in (replicated, primary_only):
+            for archive in archives:
+                frontend.note_append(archive.site, archive.last_boundary)
+        tag = EPC(TagKind.ITEM, 2)
+        request = HistoryRequest(0, "containment", tag, 250)
+        cold = replicated.execute(request)
+        warm = replicated.execute(request)
+        assert cold == warm == primary_only.execute(request)
+        assert replicated.stats.cache_hits == 1
+        assert replica.stats.answered > 0
+
+
+class TestConcurrentSessions:
+    def test_lru_stays_bounded_under_concurrent_sessions(self):
+        transport, _ = synthetic_federation()
+        frontend = QueryFrontend(max_in_flight=64, cache_capacity=8, site_id=-9)
+        frontend.bind(transport, [0, 1])
+        errors = []
+
+        def client(worker: int) -> None:
+            session = frontend.session(f"client-{worker}")
+            try:
+                for i in range(40):
+                    tag = EPC(TagKind.ITEM, i % 5)
+                    session.containment(tag, 7 * i + worker)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(frontend._cache) <= frontend.cache_capacity
+        assert frontend.stats.queries == 160
+        # Eviction means older keys are gone: re-running an early query
+        # misses the cache again.
+        remote_before = frontend.stats.remote_requests
+        frontend.session().containment(EPC(TagKind.ITEM, 0), 0)
+        assert frontend.stats.remote_requests > remote_before

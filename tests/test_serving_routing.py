@@ -1,0 +1,221 @@
+"""Serving-tier routing: hash ring, two-choice balancing, pools, tenants.
+
+Runs against small synthetic archives behind :class:`ArchivePublisher`
+and :class:`ArchiveReplica` endpoints on an in-process transport — no
+cluster needed — and checks that routing choices change only *where*
+reads are served, never their answers.
+"""
+
+import pytest
+
+from repro.serving import (
+    ArchivePublisher,
+    ArchiveReplica,
+    Backpressure,
+    FrontendPool,
+    HistoryRequest,
+    QueryFrontend,
+    TenantPolicy,
+    replica_site_id,
+)
+from repro.serving.routing import HashRing
+from repro.runtime import InProcessTransport
+from repro.sim.tags import EPC, TagKind
+
+from tests.test_replication import build_archive
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        keys = [f"tag-{i}" for i in range(200)]
+        first = HashRing(range(4))
+        second = HashRing(range(4))
+        assert [first.route(k) for k in keys] == [second.route(k) for k in keys]
+
+    def test_distribution_is_roughly_uniform(self):
+        ring = HashRing(range(4))
+        counts = {e: 0 for e in range(4)}
+        for i in range(2000):
+            counts[ring.route(f"key-{i}")] += 1
+        assert all(count > 200 for count in counts.values())  # >10% each
+
+    def test_owners_walks_distinct_endpoints(self):
+        ring = HashRing(range(4))
+        for i in range(50):
+            key = f"key-{i}"
+            pair = ring.owners(key, 2)
+            assert len(pair) == 2 and pair[0] != pair[1]
+            assert pair[0] == ring.route(key)
+        # Asking for more owners than endpoints yields them all.
+        assert set(ring.owners("anything", 10)) == set(range(4))
+
+    def test_removing_an_endpoint_only_remaps_its_keys(self):
+        keys = [f"key-{i}" for i in range(500)]
+        full = HashRing(range(4))
+        reduced = HashRing(range(3))  # endpoint 3 removed
+        for key in keys:
+            if full.route(key) != 3:
+                assert reduced.route(key) == full.route(key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing([1, 1])
+        with pytest.raises(ValueError):
+            HashRing([1], vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing([1]).owners("key", 0)
+
+
+def serve_topology(n_replicas: int = 2):
+    """Two primary archives, each with replicas, on one transport."""
+    transport = InProcessTransport()
+    archives = [build_archive(site=s) for s in range(2)]
+    for archive in archives:
+        ArchivePublisher(archive).bind(transport)
+    replica_map = {}
+    for archive in archives:
+        ids = []
+        for r in range(n_replicas):
+            rid = replica_site_id(archive.site, r, 2)
+            replica = ArchiveReplica(archive.site, rid)
+            replica.bind(transport)
+            replica.catch_up()
+            ids.append(rid)
+        replica_map[archive.site] = ids
+    return transport, archives, replica_map
+
+
+def probe_queries(count: int = 60):
+    """Cache-distinct point queries over a handful of tags."""
+    return [
+        HistoryRequest(0, "containment", EPC(TagKind.ITEM, i % 5), 5 * i, k=1)
+        for i in range(count)
+    ]
+
+
+class TestReplicaRouting:
+    def test_two_choice_balances_a_single_hot_tag(self):
+        transport, _, replica_map = serve_topology()
+        frontend = QueryFrontend(site_id=-9)
+        frontend.bind(transport, [0, 1], replicas=replica_map, read_preference="replica")
+        tag = EPC(TagKind.ITEM, 0)
+        session = frontend.session()
+        for time in range(100):  # distinct times: no cache hits
+            session.containment(tag, time)
+        for site in (0, 1):
+            sent = [frontend._endpoint_sent.get(r, 0) for r in replica_map[site]]
+            assert sum(sent) == 100
+            # The tag's two owners split its load nearly evenly.
+            assert abs(sent[0] - sent[1]) <= 1
+
+    def test_replica_preference_never_touches_primaries(self):
+        transport, _, replica_map = serve_topology()
+        frontend = QueryFrontend(site_id=-9)
+        frontend.bind(transport, [0, 1], replicas=replica_map, read_preference="replica")
+        frontend.execute_many(probe_queries())
+        assert frontend._endpoint_sent
+        assert all(e <= -100 for e in frontend._endpoint_sent)
+
+    def test_replica_answers_match_primary_answers(self):
+        transport, _, replica_map = serve_topology()
+        primary_only = QueryFrontend(site_id=-9)
+        primary_only.bind(transport, [0, 1])
+        replicated = QueryFrontend(site_id=-10)
+        replicated.bind(transport, [0, 1], replicas=replica_map, read_preference="replica")
+        queries = probe_queries()
+        assert replicated.execute_many(queries) == primary_only.execute_many(queries)
+
+    def test_dead_replica_fails_over_to_primary(self):
+        transport, _, _ = serve_topology(n_replicas=0)
+        dead = [replica_site_id(site, 0, 2) for site in (0, 1)]
+        for rid in dead:
+            transport.register(rid, lambda env: None)  # bound but silent
+        frontend = QueryFrontend(site_id=-9)
+        frontend.bind(
+            transport, [0, 1],
+            replicas={0: [dead[0]], 1: [dead[1]]},
+            read_preference="replica",
+        )
+        baseline = QueryFrontend(site_id=-10)
+        baseline.bind(transport, [0, 1])
+        queries = probe_queries(10)
+        assert frontend.execute_many(queries) == baseline.execute_many(queries)
+        assert frontend.stats.retransmits > 0
+
+    def test_invalid_read_preference(self):
+        frontend = QueryFrontend()
+        with pytest.raises(ValueError, match="read preference"):
+            frontend.bind(InProcessTransport(), [0], replicas={0: [-101]},
+                          read_preference="nearest")
+
+
+class TestFrontendPool:
+    def test_partitioning_is_stable_and_answers_match(self):
+        transport, _, _ = serve_topology(n_replicas=0)
+        pool = FrontendPool(size=3)
+        pool.bind(transport, [0, 1])
+        single = QueryFrontend(site_id=-9)
+        single.bind(transport, [0, 1])
+        queries = probe_queries()
+        assert pool.execute_many(queries) == single.execute_many(queries)
+        # Each tag consistently lands on one frontend of the three.
+        for i in range(5):
+            tag = EPC(TagKind.ITEM, i)
+            owners = {pool.frontend_for(tag).site_id for _ in range(10)}
+            assert len(owners) == 1
+        assert pool.stats().queries == len(queries)
+
+    def test_pooled_session_matches_plain_session(self):
+        transport, _, _ = serve_topology(n_replicas=0)
+        pool = FrontendPool(size=2)
+        pool.bind(transport, [0, 1])
+        single = QueryFrontend(site_id=-9)
+        single.bind(transport, [0, 1])
+        pooled, plain = pool.session("audit"), single.session("audit")
+        tag = EPC(TagKind.ITEM, 2)
+        assert pooled.containment(tag, 150) == plain.containment(tag, 150)
+        assert pooled.trajectory(tag, 0, 300) == plain.trajectory(tag, 0, 300)
+        assert pooled.dwell(tag, 0) == plain.dwell(tag, 0)
+        assert pooled.alerts("q-test") == plain.alerts("q-test")
+        assert pooled.stats().queries == 4
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError):
+            FrontendPool(size=0)
+
+
+class TestTenantPolicies:
+    def test_quota_rejects_past_the_tenant_cap(self):
+        transport, _, _ = serve_topology(n_replicas=0)
+        frontend = QueryFrontend(max_in_flight=64, site_id=-9)
+        frontend.bind(transport, [0, 1])
+        frontend.set_tenant_policy("batch", TenantPolicy(quota=8))
+        with pytest.raises(Backpressure, match="quota"):
+            frontend.execute_many(probe_queries(9), tenant="batch")
+        assert frontend.stats.rejected == 9  # the whole batch, atomically
+        # Within quota the same tenant is served.
+        assert len(frontend.execute_many(probe_queries(8), tenant="batch")) == 8
+
+    def test_background_priority_gets_half_the_queue(self):
+        transport, _, _ = serve_topology(n_replicas=0)
+        frontend = QueryFrontend(max_in_flight=8, site_id=-9)
+        frontend.bind(transport, [0, 1])
+        frontend.set_tenant_policy("bulk", TenantPolicy(priority=-1))
+        with pytest.raises(Backpressure, match="background"):
+            frontend.execute_many(probe_queries(5), tenant="bulk")
+        # An anonymous (interactive) batch of the same size is admitted.
+        assert len(frontend.execute_many(probe_queries(5))) == 5
+
+    def test_policies_apply_across_a_pool(self):
+        transport, _, _ = serve_topology(n_replicas=0)
+        pool = FrontendPool(size=2, max_in_flight=8)
+        pool.bind(transport, [0, 1])
+        pool.set_tenant_policy("bulk", TenantPolicy(quota=2, priority=-1))
+        queries = [
+            HistoryRequest(0, "containment", EPC(TagKind.ITEM, 0), t) for t in range(3)
+        ]  # one tag -> one frontend -> one quota bucket
+        with pytest.raises(Backpressure):
+            pool.execute_many(queries, tenant="bulk")
+        assert len(pool.execute_many(queries[:2], tenant="bulk")) == 2

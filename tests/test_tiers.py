@@ -1,0 +1,138 @@
+"""Tiered segment storage: spill/load bit-identity, LRU, query equivalence.
+
+The tier contract: attaching a :class:`DiskTier` to an archive changes
+*where* sealed segments live, never *what* any reader sees —
+``encode_archive`` and every query answer stay byte-identical, while
+resident memory stays bounded by the tier's LRU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.archive import encode_archive
+from repro.archive.tiers import DiskTier, SegmentHandle, TieredSegments
+from repro.serving.history import HistoryService
+from repro.sim.tags import EPC, TagKind
+
+from tests.test_replication import build_archive, grow_archive
+
+
+def make_segment(rows: int, offset: int = 0):
+    """One interval-log-shaped segment: five int64 columns + posteriors."""
+    base = np.arange(rows, dtype=np.int64) + offset
+    return tuple(base + i for i in range(5)) + (
+        np.linspace(0.0, 1.0, rows, dtype=np.float64),
+    )
+
+
+def columns_equal(a, b) -> bool:
+    return len(a) == len(b) and all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestDiskTier:
+    def test_spill_load_roundtrip_is_bit_exact(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        segment = make_segment(17)
+        handle = tier.store(segment)
+        assert handle.rows == 17
+        loaded = tier.load(handle)
+        assert columns_equal(loaded, segment)
+        assert all(col.dtype == ref.dtype for col, ref in zip(loaded, segment))
+
+    def test_lru_bounds_residency_and_counts(self, tmp_path):
+        tier = DiskTier(str(tmp_path), max_resident=2)
+        handles = [tier.store(make_segment(4, offset=i)) for i in range(5)]
+        for handle in handles:
+            tier.load(handle)
+        assert tier.resident_count == 2
+        assert tier.stats.loads == 5
+        assert tier.stats.evictions == 3
+        # Touching a resident handle is a cache hit, not a reload.
+        tier.load(handles[-1])
+        assert tier.stats.cache_hits == 1
+        # An evicted handle reloads from disk (the file survives eviction).
+        assert columns_equal(tier.load(handles[0]), make_segment(4, offset=0))
+        assert tier.stats.loads == 6
+
+    def test_malformed_file_raises_valueerror(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        handle = tier.store(make_segment(4))
+        with open(handle.path, "wb") as fh:
+            fh.write(b"\xff\xff\xff")
+        with pytest.raises(ValueError):
+            tier.load(handle)
+
+    def test_invalid_configuration(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskTier(str(tmp_path), max_resident=0)
+        with pytest.raises(ValueError):
+            TieredSegments(DiskTier(str(tmp_path)), hot=-1)
+
+
+class TestTieredSegments:
+    def test_list_protocol_with_cold_spill(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        segments = [make_segment(6, offset=i * 10) for i in range(5)]
+        tiered = TieredSegments(tier, segments, hot=2)
+        assert len(tiered) == 5
+        assert tiered.spilled_count == 3  # everything past the hot tail
+        assert tiered.row_counts() == [6] * 5
+        assert tier.stats.loads == 0  # row_counts never materializes
+        for i, segment in enumerate(segments):
+            assert columns_equal(tiered[i], segment)
+        assert [len(s[0]) for s in tiered[1:4]] == [6, 6, 6]
+        assert sum(len(s[0]) for s in tiered) == 30
+
+    def test_append_spills_as_segments_age_out(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        tiered = TieredSegments(tier, hot=1)
+        for i in range(4):
+            tiered.append(make_segment(3, offset=i))
+        assert tiered.spilled_count == 3
+        assert isinstance(tiered._entries[0], SegmentHandle)
+
+    def test_copy_shares_handles(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        tiered = TieredSegments(tier, [make_segment(3, offset=i) for i in range(4)], hot=1)
+        spills_before = tier.stats.spills
+        view = tiered.copy()
+        assert tier.stats.spills == spills_before  # no re-spill
+        assert len(view) == 4
+        # Appending to the original does not grow the copy.
+        tiered.append(make_segment(3, offset=9))
+        assert len(view) == 4 and len(tiered) == 5
+
+
+class TestTieredArchive:
+    def test_encoding_and_answers_survive_tiering(self, tmp_path):
+        plain = build_archive(tags=6, boundaries=6)
+        tiered = build_archive(tags=6, boundaries=6)
+        tiered.attach_tier(DiskTier(str(tmp_path), max_resident=2), hot_segments=1)
+        assert tiered.location.segments.spilled_count > 0
+        assert encode_archive(tiered) == encode_archive(plain)
+        ref, svc = HistoryService(plain), HistoryService(tiered)
+        tag = EPC(TagKind.ITEM, 0)
+        for time in (0, 250, 500):
+            assert svc.point_location(tag, time, k=2) == ref.point_location(tag, time, k=2)
+            assert svc.point_containment(tag, time) == ref.point_containment(tag, time)
+        assert svc.trajectory(tag, 0, -1) == ref.trajectory(tag, 0, -1)
+        assert svc.dwell(tag, 0, -1) == ref.dwell(tag, 0, -1)
+        assert svc.alerts() == ref.alerts()
+
+    def test_appends_keep_spilling_and_answers_tracking(self, tmp_path):
+        plain = build_archive(tags=4, boundaries=4)
+        tiered = build_archive(tags=4, boundaries=4)
+        tiered.attach_tier(DiskTier(str(tmp_path)), hot_segments=1)
+        grow_archive(plain, 4, 4, tags=4)
+        grow_archive(tiered, 4, 4, tags=4)
+        assert encode_archive(tiered) == encode_archive(plain)
+
+    def test_snapshot_isolation_over_a_tier(self, tmp_path):
+        archive = build_archive(tags=4, boundaries=4)
+        archive.attach_tier(DiskTier(str(tmp_path)), hot_segments=1)
+        snap = HistoryService(archive).snapshot()
+        tag = EPC(TagKind.ITEM, 1)
+        before = snap.trajectory(tag, 0, -1)
+        grow_archive(archive, 4, 3, tags=4)
+        assert snap.trajectory(tag, 0, -1) == before
+        assert HistoryService(archive).trajectory(tag, 0, -1) != before
