@@ -1,0 +1,284 @@
+"""Edge ingestion bench — sustained rate, outage recovery, queue bounds.
+
+A multi-site cold chain's traces play the physical world: each
+(site, reader) slice becomes one vendor feed behind one
+:class:`~repro.edge.node.EdgeNode`, and the whole plane funnels into
+one :class:`~repro.edge.gateway.IngestGateway`. Two configurations are
+measured:
+
+* **clean ingest** (``clean-ingest``) — no faults; the point is the
+  sustained parse→batch→dedup→seal rate (``readings_per_sec``) and the
+  store-and-forward / staging high-water marks under ordinary load;
+* **flaky recovery** (``flaky-recovery``) — the busiest reader goes
+  offline for half the run then burst-replays, feeds emit
+  duplicate/junk/shuffled lines, every edge↔gateway link drops,
+  duplicates, delays, and reorders, one edge crashes and replays its
+  spool, and the gateway crashes and recovers from its WAL. The point
+  reports how many pump rounds (and roughly how many wall seconds) the
+  watermark needed to catch back up after the outage ended.
+
+Both points re-run the convergence oracle inline: the gateway-rebuilt
+traces must be **bit-identical** to the clean scenario traces
+(``converged``), and ``check_regression`` refuses to pass any payload
+where they are not — convergence is gated unconditionally, before any
+baseline comparison. ``BENCH_ingest.json`` at the repo root is the
+committed baseline; CI runs ``--smoke`` and gates on >25% growth of the
+hardware-normalized ingest cost per 100k readings (see
+``_common.calibration_seconds``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest.py                  # full run
+    PYTHONPATH=src python benchmarks/bench_ingest.py --smoke \\
+        --output BENCH_ingest.ci.json \\
+        --baseline BENCH_ingest.json --max-regression 0.25            # CI gate
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _common import (  # noqa: E402
+    bench_cli,
+    calibration_seconds,
+    emit_table,
+    load_baseline,
+    normalized_latency_failures,
+)
+
+from repro.edge import EdgePlan, run_ingest  # noqa: E402
+from repro.runtime.faults import FaultPlan  # noqa: E402
+from repro.sim.vendor import FeedNoise, VendorFeed  # noqa: E402
+from repro.workloads.scenarios import cold_chain_scenario  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_ingest.json")
+
+INTERVAL = 300  # gateway seal window, matching the chaos harness
+SEED = 7
+
+
+def build_traces(smoke: bool):
+    # Smoke runs the full scenario: the whole bench is a few seconds,
+    # and a smaller trace would not amortize the fixed per-pump-round
+    # cost, so the per-reading gate metric would not transfer.
+    del smoke
+    scenario = cold_chain_scenario(
+        n_freezer_cases=16,
+        n_room_cases=16,
+        items_per_case=8,
+        horizon=1200,
+        n_sites=2,
+        read_rate=0.95,
+        overlap_rate=0.3,
+        seed=SEED,
+    )
+    return scenario.traces
+
+
+def traces_identical(rebuilt, originals) -> bool:
+    """The convergence oracle, as a predicate (benches report, gates fail)."""
+    if len(rebuilt) != len(originals):
+        return False
+    for got, want in zip(rebuilt, originals):
+        if got.site != want.site or got.horizon != want.horizon:
+            return False
+        if got.tag_table != want.tag_table:
+            return False
+        if not (
+            np.array_equal(got.times, want.times)
+            and np.array_equal(got.tag_ids, want.tag_ids)
+            and np.array_equal(got.readers, want.readers)
+        ):
+            return False
+    return True
+
+
+def busiest_edge(traces, start: int) -> int:
+    """The edge id (run_ingest enumeration order) with the most readings
+    at or after ``start`` — the outage target that actually hurts."""
+    best, best_count, edge_id = 0, -1, 0
+    for trace in traces:
+        for reader in VendorFeed.split_trace(trace):
+            count = int(np.sum((trace.readers == reader) & (trace.times >= start)))
+            if count > best_count:
+                best, best_count = edge_id, count
+            edge_id += 1
+    return best
+
+
+def flaky_plan(traces) -> EdgePlan:
+    """The everything-at-once outage schedule for the recovery point."""
+    horizon = max(trace.horizon for trace in traces)
+    n_edges = sum(len(VendorFeed.split_trace(trace)) for trace in traces)
+    busy = busiest_edge(traces, horizon // 4)
+    return EdgePlan(
+        seed=SEED,
+        noise=FeedNoise(duplicate=0.1, junk=0.05, shuffle=0.3),
+        offline={busy: (horizon // 4, 3 * horizon // 4)},
+        link_faults=FaultPlan.chaos(
+            SEED, drop=0.2, duplicate=0.15, delay=0.2, max_delay=3
+        ),
+        edge_restarts={(busy + 1) % n_edges: horizon // 2},
+        gateway_restarts=(horizon // 2,),
+    )
+
+
+def run_point(label: str, traces, plan: EdgePlan | None) -> dict:
+    with tempfile.TemporaryDirectory() as workdir:
+        started = time.perf_counter()
+        rebuilt, report = run_ingest(traces, INTERVAL, workdir, plan=plan)
+        elapsed = time.perf_counter() - started
+    point = {
+        "label": label,
+        "n_readings": report.readings,
+        "n_edges": len(report.edge_stats),
+        "pump_rounds": report.pump_rounds,
+        "elapsed_seconds": elapsed,
+        "readings_per_sec": report.readings / elapsed,
+        "seconds_per_100k_readings": elapsed / report.readings * 1e5,
+        "max_pending_readings": max(
+            stats["max_pending_readings"] for stats in report.edge_stats
+        ),
+        "max_unacked_batches": max(
+            stats["max_unacked_batches"] for stats in report.edge_stats
+        ),
+        "max_staged_readings": report.gateway_stats["max_staged_readings"],
+        "converged": traces_identical(rebuilt, traces),
+    }
+    if plan is not None:
+        rounds = report.recovery_rounds
+        point["edge_retransmits"] = sum(s["retransmits"] for s in report.edge_stats)
+        point["duplicate_batches"] = report.gateway_stats["duplicate_batches"]
+        point["restarts"] = report.gateway_stats["restarts"] + sum(
+            s["restarts"] for s in report.edge_stats
+        )
+        point["recovery_rounds"] = rounds
+        # The pump loop is uniform work per round, so wall share of the
+        # post-outage rounds approximates recovery wall time.
+        point["recovery_seconds"] = (
+            elapsed * rounds / report.pump_rounds if rounds is not None else None
+        )
+    return point
+
+
+# -- payload / gate ---------------------------------------------------------
+
+
+def build_payload(smoke: bool) -> dict:
+    calibration = calibration_seconds()
+    traces = build_traces(smoke)
+    points = [
+        run_point("clean-ingest", traces, None),
+        run_point("flaky-recovery", traces, flaky_plan(traces)),
+    ]
+    return {
+        "schema_version": 1,
+        "bench": "ingest",
+        "smoke": smoke,
+        "calibration_seconds": calibration,
+        "points": points,
+    }
+
+
+def check_regression(payload: dict, baseline_path: str, budget: float) -> list[str]:
+    """Convergence is absolute; ingest cost gates against the baseline."""
+    failures = [
+        f"{point['label']}: rebuilt traces diverged from the clean traces"
+        for point in payload["points"]
+        if not point["converged"]
+    ]
+    failures.extend(
+        normalized_latency_failures(
+            payload, load_baseline(baseline_path), budget, "seconds_per_100k_readings"
+        )
+    )
+    return failures
+
+
+def emit(payload: dict) -> None:
+    rows = [
+        [
+            point["label"],
+            point["n_readings"],
+            f"{point['readings_per_sec']:.0f}",
+            str(point.get("recovery_rounds", "-")),
+            (
+                f"{point['recovery_seconds'] * 1e3:.0f}ms"
+                if point.get("recovery_seconds") is not None
+                else "-"
+            ),
+            point["max_pending_readings"],
+            point["max_staged_readings"],
+            "yes" if point["converged"] else "NO",
+        ]
+        for point in payload["points"]
+    ]
+    emit_table(
+        "Edge ingestion (vendor feeds through the gateway)",
+        [
+            "config",
+            "readings",
+            "readings/s",
+            "recovery rounds",
+            "recovery",
+            "edge queue max",
+            "staged max",
+            "converged",
+        ],
+        rows,
+    )
+
+
+def _build_and_emit(smoke: bool) -> dict:
+    payload = build_payload(smoke)
+    emit(payload)
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    return bench_cli(
+        argv,
+        doc=__doc__,
+        build_payload=_build_and_emit,
+        check=check_regression,
+        default_output=DEFAULT_OUTPUT,
+        gate_ok="ingest gate: within budget, converged",
+    )
+
+
+# -- pytest-benchmark entry point ------------------------------------------
+
+
+def test_ingest(benchmark):
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    payload = benchmark.pedantic(lambda: build_payload(smoke), rounds=1, iterations=1)
+    emit(payload)
+    default = os.path.join(os.path.dirname(__file__), "results", "BENCH_ingest.json")
+    os.makedirs(os.path.dirname(default), exist_ok=True)
+    output = os.environ.get("BENCH_INGEST_OUT", default)
+    from _common import write_json
+
+    write_json(output, payload)
+    by_label = {point["label"]: point for point in payload["points"]}
+    # The convergence oracle holds under both configurations.
+    assert all(point["converged"] for point in payload["points"])
+    # The flaky run actually exercised the fault machinery.
+    flaky = by_label["flaky-recovery"]
+    assert flaky["duplicate_batches"] > 0
+    assert flaky["edge_retransmits"] > 0
+    assert flaky["restarts"] >= 2  # one edge crash + one gateway crash
+    assert flaky["recovery_rounds"] is not None
+    # Store-and-forward stayed bounded while absorbing the outage.
+    assert flaky["max_pending_readings"] > by_label["clean-ingest"]["max_pending_readings"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, NamedTuple
@@ -36,7 +37,22 @@ import numpy as np
 
 from repro._util.encoding import ByteReader, ByteWriter
 
-__all__ = ["DiskTier", "SegmentHandle", "TieredSegments", "TierStats"]
+__all__ = [
+    "ArchiveCorruption",
+    "DiskTier",
+    "SegmentHandle",
+    "TieredSegments",
+    "TierStats",
+]
+
+#: little-endian crc32 footer appended to every spilled column file, so
+#: a truncated or bit-flipped file fails validation with a description
+#: instead of a raw numpy/struct exception deep in the decoder.
+_CRC = struct.Struct("<I")
+
+
+class ArchiveCorruption(ValueError):
+    """A spilled tier segment failed its length or checksum validation."""
 
 
 class SegmentHandle(NamedTuple):
@@ -55,6 +71,7 @@ class TierStats:
     cache_hits: int = 0
     evictions: int = 0
     bytes_spilled: int = 0
+    corruptions: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -63,6 +80,7 @@ class TierStats:
             "cache_hits": self.cache_hits,
             "evictions": self.evictions,
             "bytes_spilled": self.bytes_spilled,
+            "corruptions": self.corruptions,
         }
 
 
@@ -98,26 +116,43 @@ class DiskTier:
         path = os.path.join(self.root, f"seg-{self._next:08d}.col")
         self._next += 1
         with open(path, "wb") as handle:
-            handle.write(data)
+            handle.write(data + _CRC.pack(zlib.crc32(data)))
         self.stats.spills += 1
         self.stats.bytes_spilled += len(data)
         return SegmentHandle(path, len(segment[0]))
 
     def load(self, handle: SegmentHandle) -> tuple[np.ndarray, ...]:
-        """Materialize a spilled segment (LRU-cached)."""
+        """Materialize a spilled segment (LRU-cached).
+
+        Raises :class:`ArchiveCorruption` (a :class:`ValueError`) with
+        the file path and the failure mode when the file is truncated,
+        bit-flipped, or otherwise undecodable — and counts it.
+        """
         cached = self._resident.get(handle.path)
         if cached is not None:
             self._resident.move_to_end(handle.path)
             self.stats.cache_hits += 1
             return cached
         with open(handle.path, "rb") as fh:
-            data = fh.read()
+            raw = fh.read()
+        if len(raw) < _CRC.size:
+            self.stats.corruptions += 1
+            raise ArchiveCorruption(
+                f"tier segment {handle.path} truncated ({len(raw)} bytes)"
+            )
+        data, footer = raw[: -_CRC.size], raw[-_CRC.size :]
+        if zlib.crc32(data) != _CRC.unpack(footer)[0]:
+            self.stats.corruptions += 1
+            raise ArchiveCorruption(
+                f"tier segment {handle.path} failed checksum validation"
+            )
         try:
             segment = self._decode(data)
-        except ValueError:
-            raise
-        except (EOFError, struct.error, IndexError, OverflowError) as exc:
-            raise ValueError(f"malformed tier segment {handle.path}: {exc}") from exc
+        except (ValueError, EOFError, struct.error, IndexError, OverflowError) as exc:
+            self.stats.corruptions += 1
+            raise ArchiveCorruption(
+                f"malformed tier segment {handle.path}: {exc}"
+            ) from exc
         self.stats.loads += 1
         self._resident[handle.path] = segment
         while len(self._resident) > self.max_resident:

@@ -25,17 +25,22 @@ __all__ = [
     "Message",
     "Network",
     "ACK",
+    "EDGE_ACK",
     "RETRANSMIT",
     "FAULT_OVERHEAD_KINDS",
 ]
 
 #: ledger kind for at-least-once acknowledgement frames.
 ACK = "ack"
+#: ledger kind for the ingest gateway's batch acknowledgements (the
+#: edge plane's equivalent of ``ack``; a separate kind keeps edge
+#: delivery overhead visible next to the federation's).
+EDGE_ACK = "edge-ack"
 #: ledger kind for every repeated transmission of a sequenced envelope —
 #: reliability-layer retransmits and network-injected duplicates alike.
 RETRANSMIT = "retransmit"
 #: kinds that exist only because links are lossy.
-FAULT_OVERHEAD_KINDS = (ACK, RETRANSMIT)
+FAULT_OVERHEAD_KINDS = (ACK, EDGE_ACK, RETRANSMIT)
 
 
 class Message(NamedTuple):
@@ -73,6 +78,17 @@ class Network:
     shard_bytes_in: Counter = field(default_factory=Counter)
     shard_bytes_out: Counter = field(default_factory=Counter)
     rebalances: int = 0
+    #: serving-frontend gauge: history-request retransmissions issued by
+    #: the gather loop (capped-backoff schedule). Outside the byte kinds.
+    frontend_retransmits: int = 0
+    #: edge-ingestion gauges (the readings → edge → gateway hop): batch
+    #: payloads that arrived for an already-sealed epoch window, how many
+    #: of those were dropped vs merged by a bounded window re-run, and
+    #: duplicate batches the gateway's sequence window absorbed.
+    edge_late_readings: int = 0
+    edge_late_dropped: int = 0
+    edge_window_reruns: int = 0
+    edge_duplicate_batches: int = 0
 
     def send(self, src: int, dst: int, kind: str, payload: bytes) -> bytes:
         """Deliver ``payload`` and account for its size."""
@@ -140,6 +156,30 @@ class Network:
 
     def note_rebalance(self) -> None:
         self.rebalances += 1
+
+    # -- serving / edge gauges -------------------------------------------------
+
+    def note_frontend_retransmits(self, n: int = 1) -> None:
+        self.frontend_retransmits += n
+
+    def note_edge_late(self, n: int = 1, dropped: int = 0) -> None:
+        self.edge_late_readings += n
+        self.edge_late_dropped += dropped
+
+    def note_edge_rerun(self, n: int = 1) -> None:
+        self.edge_window_reruns += n
+
+    def note_edge_duplicate(self, n: int = 1) -> None:
+        self.edge_duplicate_batches += n
+
+    def edge_gauges(self) -> dict[str, int]:
+        """The edge plane's degradation gauges, for reports and benches."""
+        return {
+            "late_readings": self.edge_late_readings,
+            "late_dropped": self.edge_late_dropped,
+            "window_reruns": self.edge_window_reruns,
+            "duplicate_batches": self.edge_duplicate_batches,
+        }
 
     def worker_rows(self) -> list[tuple[int, int, int, int]]:
         """``(worker, shard_sites, bytes_in, bytes_out)`` rows; empty

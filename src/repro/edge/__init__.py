@@ -1,0 +1,36 @@
+"""Edge ingestion: lossy reader feeds → clean federation traces.
+
+The layer between (simulated-)vendor reader feeds and the federation:
+per-reader :class:`~repro.edge.node.EdgeNode` store-and-forward queues
+with spill-to-disk persistence, an at-least-once batch protocol over
+``edge-batch``/``edge-ack`` envelopes, and the deduplicating,
+reordering, crash-durable :class:`~repro.edge.gateway.IngestGateway`
+that seals readings into epoch windows and hands the federation
+complete per-site traces. See :mod:`repro.edge.pipeline` for the
+end-to-end driver and the flaky-edge chaos modes.
+"""
+
+from repro.edge.gateway import GATEWAY_SITE, GatewayStats, IngestGateway
+from repro.edge.node import EdgeNode, EdgeStats, edge_site_id
+from repro.edge.pipeline import EdgePlan, IngestReport, run_ingest
+from repro.edge.spool import BatchSpool, SpoolCorruption
+from repro.edge.wire import EDGE_ACK, EDGE_BATCH, EdgeBatch, decode_edge_batch, encode_edge_batch
+
+__all__ = [
+    "GATEWAY_SITE",
+    "GatewayStats",
+    "IngestGateway",
+    "EdgeNode",
+    "EdgeStats",
+    "edge_site_id",
+    "EdgePlan",
+    "IngestReport",
+    "run_ingest",
+    "BatchSpool",
+    "SpoolCorruption",
+    "EDGE_ACK",
+    "EDGE_BATCH",
+    "EdgeBatch",
+    "decode_edge_batch",
+    "encode_edge_batch",
+]

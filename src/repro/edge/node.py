@@ -1,0 +1,260 @@
+"""Per-reader edge nodes: parse, dedup, buffer, push at-least-once.
+
+An :class:`EdgeNode` sits next to one physical reader. It parses the
+vendor feed's raw lines (counting, never crashing on, garbage), dedups
+within a sliding epoch window, groups fresh readings into immutable
+bounded batches, spools every batch to disk *before* its first
+transmission, and pushes to the gateway with sequence numbers, acks,
+and retransmits under capped exponential backoff with seeded jitter.
+A crash-restart (:meth:`crash`) loses only volatile niceties — the
+dedup window, backoff timers — and replays the persisted queue; the
+gateway's idempotent apply makes the resulting duplicates harmless.
+
+Edge nodes register on the ingestion plane's transport as synthetic
+sites (``edge_site_id``), below every id the federation itself uses, so
+the existing :class:`~repro.runtime.faults.FaultyTransport` injects
+drop/duplicate/delay/reorder faults into edge links exactly as it does
+between federation sites.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro._util.rng import spawn_rng
+from repro.edge.spool import BatchSpool
+from repro.edge.wire import EDGE_ACK, EDGE_BATCH, EdgeBatch, encode_edge_batch
+from repro.runtime.envelope import Envelope, decode_ack
+from repro.runtime.transport import Transport
+from repro.sim.tags import EPC
+from repro.sim.trace import Reading
+
+__all__ = ["EdgeNode", "EdgeStats", "GATEWAY_SITE", "edge_site_id"]
+
+#: synthetic transport id of the ingest gateway (the ingestion plane has
+#: its own transport + ledger; ids here never meet federation ids, but
+#: staying below the replica range keeps debugging output unambiguous).
+GATEWAY_SITE = -40
+
+
+def edge_site_id(edge_id: int) -> int:
+    """Synthetic transport id for edge node ``edge_id`` (0-based)."""
+    return -50 - edge_id
+
+
+@dataclass
+class EdgeStats:
+    """Counters for one edge node."""
+
+    lines: int = 0
+    parse_errors: int = 0
+    duplicates_dropped: int = 0
+    batches_formed: int = 0
+    sends: int = 0
+    retransmits: int = 0
+    acked: int = 0
+    restarts: int = 0
+    #: high-water marks of the store-and-forward queue.
+    max_pending_readings: int = 0
+    max_unacked_batches: int = 0
+    spool: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "lines": self.lines,
+            "parse_errors": self.parse_errors,
+            "duplicates_dropped": self.duplicates_dropped,
+            "batches_formed": self.batches_formed,
+            "sends": self.sends,
+            "retransmits": self.retransmits,
+            "acked": self.acked,
+            "restarts": self.restarts,
+            "max_pending_readings": self.max_pending_readings,
+            "max_unacked_batches": self.max_unacked_batches,
+        }
+
+
+class EdgeNode:
+    """Store-and-forward ingestion for one reader of one site."""
+
+    def __init__(
+        self,
+        edge_id: int,
+        site: int,
+        reader: int,
+        spool_dir: str,
+        *,
+        gateway: int = GATEWAY_SITE,
+        max_batch: int = 512,
+        dedup_window: int = 64,
+        max_resident_batches: int = 64,
+        backoff_base: int = 1,
+        backoff_cap: int = 16,
+        seed: int = 0,
+    ) -> None:
+        self.edge_id = edge_id
+        self.site_id = edge_site_id(edge_id)
+        self.site = site
+        self.reader = reader
+        self.gateway = gateway
+        self.max_batch = max_batch
+        self.dedup_window = dedup_window
+        self.max_resident_batches = max_resident_batches
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = spawn_rng(seed, "edge", edge_id)
+        self.spool = BatchSpool(spool_dir)
+        self.stats = EdgeStats()
+        self._transport: Transport | None = None
+        self._reset_volatile()
+        self._restore_from_spool()
+
+    def _reset_volatile(self) -> None:
+        self._pending: list[Reading] = []
+        #: sliding-window dedup of raw readings by (time, tag, reader).
+        self._recent: set[tuple[int, EPC, int]] = set()
+        self._max_time = -1
+        self._upto = -1
+        self._last_batched_upto = -1
+        #: seq -> encoded payload (or None when spilled out of RAM).
+        self._unacked: "OrderedDict[int, bytes | None]" = OrderedDict()
+        #: seq -> (next eligible pump round, attempt count).
+        self._backoff: dict[int, tuple[int, int]] = {}
+        self._round = 0
+
+    def _restore_from_spool(self) -> None:
+        recovered = self.spool.recover()
+        self._next_seq = max(self.spool.next_seq(), max(recovered, default=0) + 1)
+        for seq in sorted(recovered):
+            self._unacked[seq] = recovered[seq]
+            self._backoff[seq] = (0, 0)
+        self._bound_resident()
+
+    def bind(self, transport: Transport) -> None:
+        transport.register(self.site_id, self.handle)
+        self._transport = transport
+
+    # -- feed side -----------------------------------------------------------
+
+    def ingest_line(self, line: str) -> None:
+        """Parse one raw vendor line; garbage is counted, never fatal."""
+        self.stats.lines += 1
+        parts = line.split(",")
+        try:
+            if parts[0] == "KA" and len(parts) == 2:
+                self._upto = max(self._upto, int(parts[1]))
+                return
+            if parts[0] != "RD" or len(parts) != 4:
+                raise ValueError(f"unrecognized feed line {line!r}")
+            reading = Reading(int(parts[1]), EPC.parse(parts[2]), int(parts[3]))
+        except (ValueError, IndexError):
+            self.stats.parse_errors += 1
+            return
+        key = (reading.time, reading.tag, reading.reader)
+        if key in self._recent:
+            self.stats.duplicates_dropped += 1
+            return
+        self._recent.add(key)
+        self._pending.append(reading)
+        if reading.time > self._max_time:
+            self._max_time = reading.time
+            self._prune_recent()
+        self._upto = max(self._upto, reading.time)
+        self.stats.max_pending_readings = max(
+            self.stats.max_pending_readings, len(self._pending)
+        )
+
+    def _prune_recent(self) -> None:
+        floor = self._max_time - self.dedup_window
+        if len(self._recent) > 4 * self.max_batch:
+            self._recent = {k for k in self._recent if k[0] >= floor}
+
+    # -- gateway side ---------------------------------------------------------
+
+    def handle(self, env: Envelope) -> None:
+        if env.kind != EDGE_ACK:
+            return
+        try:
+            seq = decode_ack(env.payload)
+        except ValueError:
+            return
+        if seq in self._unacked:
+            del self._unacked[seq]
+            self._backoff.pop(seq, None)
+            self.spool.remove(seq)
+            self.stats.acked += 1
+
+    # -- the pump -------------------------------------------------------------
+
+    def pump(self) -> None:
+        """One scheduling round: form batches, send whatever is due."""
+        self._round += 1
+        self._form_batches()
+        transport = self._transport
+        if transport is None:
+            return
+        for seq in list(self._unacked):
+            due, attempts = self._backoff.get(seq, (0, 0))
+            if self._round < due:
+                continue
+            payload = self._unacked[seq]
+            if payload is None:
+                payload = self.spool.load(seq)
+            transport.send(
+                Envelope(self.site_id, self.gateway, EDGE_BATCH, payload, seq=seq)
+            )
+            self.stats.sends += 1
+            if attempts:
+                self.stats.retransmits += 1
+            if seq not in self._unacked:
+                continue  # acked synchronously during the send
+            delay = min(self.backoff_base << attempts, self.backoff_cap)
+            jitter = int(self._rng.integers(0, delay + 1))
+            self._backoff[seq] = (self._round + delay + jitter, attempts + 1)
+
+    def _form_batches(self) -> None:
+        while self._pending or self._upto > self._last_batched_upto:
+            chunk, self._pending = (
+                tuple(self._pending[: self.max_batch]),
+                self._pending[self.max_batch :],
+            )
+            # Only the final chunk carries the new watermark: earlier
+            # chunks' readings may still be trailed by same-epoch ones.
+            upto = self._upto if not self._pending else self._last_batched_upto
+            seq = self._next_seq
+            self._next_seq += 1
+            self.spool.set_next_seq(self._next_seq)
+            batch = EdgeBatch(self.edge_id, self.site, seq, max(upto, 0), chunk)
+            payload = encode_edge_batch(batch)
+            self.spool.put(seq, payload)  # durable before first send
+            self._unacked[seq] = payload
+            self._backoff[seq] = (self._round, 0)
+            self._last_batched_upto = max(self._last_batched_upto, upto)
+            self.stats.batches_formed += 1
+            if not self._pending:
+                self._last_batched_upto = self._upto
+        self.stats.max_unacked_batches = max(
+            self.stats.max_unacked_batches, len(self._unacked)
+        )
+        self._bound_resident()
+
+    def _bound_resident(self) -> None:
+        """Keep at most ``max_resident_batches`` payloads in RAM; older
+        unacked batches fall back to their spool file (read on resend)."""
+        excess = len(self._unacked) - self.max_resident_batches
+        if excess > 0:
+            for seq in list(self._unacked)[:excess]:
+                self._unacked[seq] = None
+
+    # -- crash/restart ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state and replay the persisted queue."""
+        self.stats.restarts += 1
+        self._reset_volatile()
+        self._restore_from_spool()
+
+    @property
+    def drained(self) -> bool:
+        return not self._pending and not self._unacked

@@ -1,0 +1,197 @@
+"""The ingestion pipeline: vendor feeds → edge nodes → gateway → traces.
+
+This is the phased architecture the inference contract dictates: the
+paper's streaming service consumes "an (already materialized) reading
+stream" — presence spans peek at a tag's last sighting across the whole
+trace — so ingestion runs fully to the horizon *first*, and the
+federation then runs unmodified over the gateway-assembled traces. The
+pipeline's convergence guarantee (at-least-once delivery + idempotent
+set assembly + watermark-held seals) is exactly what makes the two
+stages composable: under any tolerated edge fault the assembled traces
+are bit-identical to the clean ones, so every downstream federation
+result is too.
+
+:func:`run_ingest` drives the pump loop: each round advances the wall
+clock, feeds emit their newly covered lines (unless offline), edges
+parse/batch/push, the transport flushes one delay round, and the
+gateway seals every window its watermark allows. A seeded
+:class:`EdgePlan` injects the flaky-edge chaos modes — offline windows
+with burst replay, duplicated bursts, junk lines, reordering (feed- and
+link-level), edge crash+restart, gateway crash+recover.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.distributed.network import Network
+from repro.edge.gateway import GATEWAY_SITE, IngestGateway
+from repro.edge.node import EdgeNode
+from repro.runtime.faults import FaultPlan, FaultyTransport
+from repro.runtime.transport import InProcessTransport, Transport
+from repro.sim.trace import Trace
+from repro.sim.vendor import FeedNoise, VendorFeed
+
+__all__ = ["EdgePlan", "IngestReport", "run_ingest"]
+
+
+@dataclass(frozen=True)
+class EdgePlan:
+    """A seeded flaky-edge fault schedule for one ingestion run.
+
+    ``offline`` maps edge index → ``(t0, t1)`` wall-epoch windows during
+    which that reader's feed goes silent, then burst-replays.
+    ``link_faults`` wraps the ingestion transport in the standard
+    :class:`~repro.runtime.faults.FaultyTransport` (drop / duplicate /
+    delay / reorder on every edge↔gateway link). ``edge_restarts`` and
+    ``gateway_restarts`` name wall epochs at which the corresponding
+    process crashes and recovers from its persisted queue / WAL.
+    """
+
+    seed: int = 0
+    noise: FeedNoise = FeedNoise()
+    offline: dict = field(default_factory=dict)
+    link_faults: FaultPlan | None = None
+    edge_restarts: dict = field(default_factory=dict)
+    gateway_restarts: tuple = ()
+
+
+@dataclass
+class IngestReport:
+    """What one ingestion run did, for tests and benches."""
+
+    readings: int
+    pump_rounds: int
+    edge_stats: list
+    gateway_stats: dict
+    edge_gauges: dict
+    #: pump rounds from the end of the longest offline window until the
+    #: gateway watermark caught back up (None without an offline window).
+    recovery_rounds: int | None = None
+
+
+def run_ingest(
+    traces: list[Trace],
+    interval: int,
+    workdir: str,
+    *,
+    plan: EdgePlan | None = None,
+    pump_epochs: int = 25,
+    max_lag: int | None = None,
+    late_policy: str = "drop",
+    rerun_window: int = 2,
+    reorder_window: int = 64,
+    max_batch: int = 512,
+    drain_limit: int = 4096,
+) -> tuple[list[Trace], IngestReport]:
+    """Ingest ``traces`` through the edge plane; return the rebuilt
+    traces plus a report. ``traces`` play the role of the physical
+    world: each (site, reader) slice becomes one vendor feed with one
+    edge node, faulted per ``plan``.
+    """
+    plan = plan if plan is not None else EdgePlan()
+    horizon = max(trace.horizon for trace in traces)
+    ledger = Network()
+    transport: Transport
+    if plan.link_faults is not None:
+        transport = FaultyTransport(plan.link_faults, InProcessTransport(ledger))
+    else:
+        transport = InProcessTransport(ledger)
+    gateway = IngestGateway(
+        len(traces),
+        interval,
+        os.path.join(workdir, "gateway"),
+        reorder_window=reorder_window,
+        max_lag=max_lag,
+        late_policy=late_policy,
+        rerun_window=rerun_window,
+        ledger=ledger,
+    )
+    gateway.bind(transport)
+
+    edges: list[EdgeNode] = []
+    feeds: list[VendorFeed] = []
+    for trace in traces:
+        for reader in VendorFeed.split_trace(trace):
+            edge_id = len(edges)
+            window = plan.offline.get(edge_id)
+            feeds.append(
+                VendorFeed(
+                    trace,
+                    reader,
+                    seed=plan.seed,
+                    noise=plan.noise,
+                    offline=(window,) if window is not None else (),
+                )
+            )
+            edge = EdgeNode(
+                edge_id,
+                trace.site,
+                reader,
+                os.path.join(workdir, f"edge-{edge_id}"),
+                max_batch=max_batch,
+                seed=plan.seed,
+            )
+            edge.bind(transport)
+            gateway.expect_edge(edge_id)
+            edges.append(edge)
+
+    edge_restarts = dict(plan.edge_restarts)
+    gateway_restarts = sorted(plan.gateway_restarts)
+    offline_end = max((t1 for _, t1 in plan.offline.values()), default=None)
+    recovery_rounds: int | None = None
+    recovery_start: int | None = None
+
+    wall = 0
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > drain_limit:
+            raise RuntimeError(
+                f"ingestion did not drain within {drain_limit} pump rounds "
+                f"(watermark {gateway.watermark()}, horizon {horizon})"
+            )
+        wall = min(wall + pump_epochs, horizon)
+        for feed, edge in zip(feeds, edges):
+            for line in feed.emit_until(wall):
+                edge.ingest_line(line)
+        for edge in edges:
+            edge.pump()
+        transport.flush()
+        gateway.advance(wall)
+        # Crash schedules fire after the round's pump: an edge's parsed
+        # readings are always in a spooled batch by then, so a restart
+        # loses no data — only volatile timers and dedup state.
+        while gateway_restarts and gateway_restarts[0] <= wall:
+            gateway_restarts.pop(0)
+            gateway.restart()
+        for edge_id, at in list(edge_restarts.items()):
+            if at <= wall:
+                del edge_restarts[edge_id]
+                edges[edge_id].crash()
+        if offline_end is not None and recovery_start is None and wall >= offline_end:
+            recovery_start = rounds
+        if (
+            recovery_start is not None
+            and recovery_rounds is None
+            and gateway.watermark() >= min(wall, offline_end)
+        ):
+            recovery_rounds = rounds - recovery_start
+        if wall >= horizon and all(edge.drained for edge in edges):
+            if getattr(transport, "pending_count", lambda: 0)() == 0:
+                break
+    gateway.finalize(horizon)
+    rebuilt = gateway.build_traces(
+        [t.layout for t in traces], [t.model for t in traces], horizon
+    )
+    report = IngestReport(
+        readings=gateway.total_readings,
+        pump_rounds=rounds,
+        edge_stats=[e.stats.as_dict() for e in edges],
+        gateway_stats=gateway.stats.as_dict(),
+        edge_gauges=ledger.edge_gauges(),
+        recovery_rounds=recovery_rounds,
+    )
+    gateway.close()
+    return rebuilt, report

@@ -1,0 +1,84 @@
+"""Wire codec for the edge ingestion plane.
+
+An :class:`EdgeBatch` is the unit of at-least-once delivery between a
+per-reader :class:`~repro.edge.node.EdgeNode` and the
+:class:`~repro.edge.gateway.IngestGateway`: an immutable group of raw
+``(time, tag, reader)`` readings plus the edge's progress watermark
+(``upto`` — the feed has reported everything through that epoch, so the
+gateway may seal inference windows at or below it). The per-link
+sequence number also rides the carrying
+:class:`~repro.runtime.envelope.Envelope`'s ``seq`` field, so fault
+injection and ledger accounting classify retransmitted batches exactly
+like the federation's own sequenced traffic.
+
+The same discipline as every other codec in the repo: decoders raise
+:class:`ValueError` on malformed input — truncated varints, trailing
+garbage, out-of-range tag kinds — never a bare decoder error.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.runtime.envelope import EDGE_ACK, EDGE_BATCH, _decoded
+from repro.sim.tags import read_epc, write_epc
+from repro.sim.trace import Reading
+
+__all__ = [
+    "EDGE_BATCH",
+    "EDGE_ACK",
+    "EdgeBatch",
+    "encode_edge_batch",
+    "decode_edge_batch",
+]
+
+
+class EdgeBatch(NamedTuple):
+    """One immutable store-and-forward batch from an edge node.
+
+    ``site`` is the federation site the edge's reader belongs to;
+    ``upto`` is the feed-progress watermark: every reading of this
+    reader with ``time <= upto`` has been handed over (in this batch or
+    an earlier one). A batch may be empty — a pure watermark heartbeat.
+    """
+
+    edge_id: int
+    site: int
+    seq: int
+    upto: int
+    readings: tuple[Reading, ...]
+
+
+def encode_edge_batch(batch: EdgeBatch) -> bytes:
+    writer = ByteWriter()
+    writer.varint(batch.edge_id)
+    writer.varint(batch.site)
+    writer.varint(batch.seq)
+    writer.varint(batch.upto)
+    writer.varint(len(batch.readings))
+    for reading in batch.readings:
+        writer.varint(reading.time)
+        write_epc(writer, reading.tag)
+        writer.varint(reading.reader)
+    return writer.getvalue()
+
+
+def decode_edge_batch(data: bytes) -> EdgeBatch:
+    def _decode() -> EdgeBatch:
+        reader = ByteReader(data)
+        edge_id = reader.varint()
+        site = reader.varint()
+        seq = reader.varint()
+        if seq < 1:
+            raise ValueError(f"edge batch carries invalid sequence number {seq}")
+        upto = reader.varint()
+        readings = tuple(
+            Reading(reader.varint(), read_epc(reader), reader.varint())
+            for _ in range(reader.varint())
+        )
+        if not reader.exhausted():
+            raise ValueError("edge batch has trailing bytes")
+        return EdgeBatch(edge_id, site, seq, upto, readings)
+
+    return _decoded("edge batch", _decode)

@@ -41,7 +41,7 @@ from repro.runtime.cluster import Cluster, ClusterSnapshot
 from repro.runtime.envelope import Envelope, MigrationEvent
 from repro.runtime.faults import FaultPlan, FaultyTransport, LinkFaults
 from repro.runtime.node import SiteNode
-from repro.runtime.process import ProcessTransport
+from repro.runtime.process import ProcessTransport, WorkerDied
 from repro.runtime.router import QueryRouter
 from repro.runtime.transport import InProcessTransport, ThreadedTransport, Transport
 
@@ -55,6 +55,7 @@ __all__ = [
     "LinkFaults",
     "MigrationEvent",
     "ProcessTransport",
+    "WorkerDied",
     "QueryRouter",
     "SiteNode",
     "ThreadedTransport",

@@ -23,7 +23,14 @@ four message families of the paper's federation:
   catch-up: a replica sends its replication cursor, the primary answers
   with the sealed segments past it (codecs in
   :mod:`repro.archive.replication`). Separate kinds keep replication
-  bandwidth visible in the ledger next to serving traffic.
+  bandwidth visible in the ledger next to serving traffic;
+* ``edge-batch`` / ``edge-ack`` — the ingestion plane: per-reader edge
+  nodes push store-and-forward batches of raw readings to the
+  :class:`~repro.edge.gateway.IngestGateway` with at-least-once
+  delivery (sequence numbers ride :attr:`Envelope.seq`; the batch codec
+  lives in :mod:`repro.edge.wire`). ``edge-ack`` is a fault-overhead
+  kind like ``ack``, so chaos accounting treats gateway acknowledgements
+  as reliability overhead, not data.
 
 Batched payloads reuse :func:`repro.distributed.sharing.centroid_compress`
 so one bundle per ``(src, dst)`` pair replaces a message per object.
@@ -42,7 +49,7 @@ from dataclasses import dataclass
 from typing import Callable, NamedTuple, TypeVar
 
 from repro._util.encoding import ByteReader, ByteWriter
-from repro.distributed.network import ACK, RETRANSMIT
+from repro.distributed.network import ACK, EDGE_ACK, RETRANSMIT
 from repro.distributed.sharing import SharedStateBundle, centroid_compress
 from repro.sim.tags import EPC, read_epc, write_epc
 
@@ -58,6 +65,8 @@ __all__ = [
     "HISTORY_RESPONSE",
     "REPLICA_FETCH",
     "REPLICA_SEGMENTS",
+    "EDGE_BATCH",
+    "EDGE_ACK",
     "ACK",
     "RETRANSMIT",
     "encode_tag_list",
@@ -82,6 +91,7 @@ HISTORY_REQUEST = "history-request"
 HISTORY_RESPONSE = "history-response"
 REPLICA_FETCH = "replica-fetch"
 REPLICA_SEGMENTS = "replica-segments"
+EDGE_BATCH = "edge-batch"
 
 
 @dataclass(frozen=True)

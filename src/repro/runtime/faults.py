@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util.rng import spawn_rng
-from repro.distributed.network import ACK, RETRANSMIT
+from repro.distributed.network import ACK, EDGE_ACK, RETRANSMIT
 from repro.runtime.envelope import Envelope
 from repro.runtime.transport import Handler, InProcessTransport, Transport
 
@@ -196,7 +196,10 @@ class FaultyTransport(Transport):
         return rng
 
     def _account(self, env: Envelope, retransmission: bool) -> None:
-        kind = ACK if env.kind == ACK else (RETRANSMIT if retransmission else env.kind)
+        if env.kind in (ACK, EDGE_ACK):
+            kind = env.kind
+        else:
+            kind = RETRANSMIT if retransmission else env.kind
         self.ledger.send(env.src, env.dst, kind, env.payload)
 
     def _hold(self, env: Envelope, rounds: int) -> None:
@@ -225,7 +228,7 @@ class FaultyTransport(Transport):
         faults = self.plan.for_link(env.src, env.dst)
         key = (env.src, env.dst, env.kind, env.seq)
         retransmission = (env.src, env.dst, env.seq) in self._seen
-        if env.kind != ACK:
+        if env.kind not in (ACK, EDGE_ACK):
             self._seen.add((env.src, env.dst, env.seq))
         self._account(env, retransmission)
         if faults.lossless:

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import time
 import traceback
+from collections import deque
 from dataclasses import replace
 from multiprocessing import get_context, resource_tracker, shared_memory
 from typing import Callable, Mapping
@@ -60,7 +61,23 @@ from repro.runtime.checkpoint import peek_checkpoint_site
 from repro.runtime.envelope import Envelope
 from repro.runtime.transport import Handler, Transport
 
-__all__ = ["ProcessTransport", "SHM_THRESHOLD"]
+__all__ = ["ProcessTransport", "WorkerDied", "SHM_THRESHOLD"]
+
+
+class WorkerDied(RuntimeError):
+    """A shard worker process exited (or stopped replying) mid-command.
+
+    Names the worker and the oldest in-flight operation, so a crash in
+    a 16-worker federation points at the actual victim instead of
+    leaving the parent blocked forever on a pipe read.
+    """
+
+    def __init__(self, worker: int, op: str, reason: str) -> None:
+        super().__init__(
+            f"shard worker {worker} died with {op!r} in flight: {reason}"
+        )
+        self.worker = worker
+        self.op = op
 
 #: payload size (bytes) at which a blob rides a shared-memory segment
 #: instead of the pickled control frame.
@@ -221,12 +238,14 @@ class _WorkerShim:
 class _WorkerHandle:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("process", "channel", "pending")
+    __slots__ = ("process", "channel", "pending", "inflight")
 
     def __init__(self, process, channel: _Channel) -> None:
         self.process = process
         self.channel = channel
         self.pending = 0  # commands sent but not yet replied
+        #: FIFO descriptions of the pending commands, for diagnostics.
+        self.inflight: deque[str] = deque()
 
 
 class ProcessTransport(Transport):
@@ -403,6 +422,16 @@ class ProcessTransport(Transport):
 
     # -- parent-side command plumbing ---------------------------------------
 
+    @staticmethod
+    def _describe_cmd(msg: tuple) -> str:
+        kind = msg[0]
+        if kind in ("call", "cast"):
+            return f"{kind} {msg[2]}@site{msg[1]}"
+        if kind == "deliver":
+            env = msg[1]
+            return f"deliver {env.kind}@site{env.dst}"
+        return kind
+
     def _send_cmd(self, w: int, msg: tuple) -> None:
         handle = self._workers[w]
         # Opportunistically drain ready replies first: keeps the pipes
@@ -412,16 +441,46 @@ class ProcessTransport(Transport):
         while handle.pending and handle.channel.poll():
             self._pump(w)
         handle.pending += 1
+        handle.inflight.append(self._describe_cmd(msg))
         handle.channel.send(msg)
 
+    #: how often the reply wait re-checks worker liveness (seconds).
+    PUMP_POLL = 0.05
+    #: optional wall-clock bound on one reply; ``None`` disables it (a
+    #: legitimately long op — a huge inference tick — must not be killed
+    #: by an arbitrary timer; *dead* workers are caught by the liveness
+    #: poll within :attr:`PUMP_POLL` regardless).
+    PUMP_TIMEOUT: float | None = None
+
     def _pump(self, w: int) -> None:
-        """Receive and process exactly one reply from worker ``w``."""
+        """Receive and process exactly one reply from worker ``w``.
+
+        The wait is a liveness-checking poll, not a blocking read: a
+        worker that died mid-command raises :class:`WorkerDied` naming
+        the worker and the oldest in-flight op, instead of leaving the
+        parent blocked on the pipe forever.
+        """
         handle = self._workers[w]
+        op = handle.inflight[0] if handle.inflight else "<unknown op>"
+        waited = 0.0
+        while not handle.channel.poll(self.PUMP_POLL):
+            if not handle.process.is_alive():
+                # One final poll: the reply may have been written just
+                # before the process exited (e.g. a clean "stop" race).
+                if handle.channel.poll():
+                    break
+                raise WorkerDied(w, op, f"process exited with code "
+                                 f"{handle.process.exitcode}")
+            waited += self.PUMP_POLL
+            if self.PUMP_TIMEOUT is not None and waited >= self.PUMP_TIMEOUT:
+                raise WorkerDied(w, op, f"no reply within {waited:.1f}s")
         try:
             reply = handle.channel.recv()
         except EOFError:
-            raise RuntimeError(f"shard worker {w} died unexpectedly") from None
+            raise WorkerDied(w, op, "pipe closed mid-reply") from None
         handle.pending -= 1
+        if handle.inflight:
+            handle.inflight.popleft()
         _, kind, result, outbox, err = reply
         if err is not None:
             raise RuntimeError(f"shard worker {w} op failed:\n{err}")

@@ -123,6 +123,10 @@ class QueryFrontend:
 
     #: retransmit rounds before a missing response is a hard error.
     MAX_ROUNDS = 64
+    #: cap (in gather rounds) on the exponential retransmit backoff, so
+    #: a dead site costs O(log rounds) retransmits instead of one per
+    #: round — a hot retransmit loop under MAX_ROUNDS of silence.
+    BACKOFF_CAP = 16
 
     def __init__(
         self,
@@ -449,6 +453,11 @@ class QueryFrontend:
         answered. A replica endpoint silent for ``_FAILOVER_ROUNDS``
         has its retransmits redirected to the primary, so a dead
         replica degrades to primary reads instead of stalling.
+
+        Retransmits back off exponentially per (request, site) —
+        rounds 0, 1, 3, 7, ... capped at :attr:`BACKOFF_CAP` apart —
+        so a site that stays dead through the round limit draws
+        O(log MAX_ROUNDS) retransmits, not one per round.
         """
         transport = self._require_transport()
         pending: dict[int, tuple[bytes, dict[int, int], HistoryRequest]] = {}
@@ -457,6 +466,8 @@ class QueryFrontend:
         for request_id, request in batch:
             payload, targets = self._scatter_one(request_id, request)
             pending[request_id] = (payload, targets, request)
+        #: (request_id, site) -> (next retransmit round, current delay).
+        backoff: dict[tuple[int, int], tuple[int, int]] = {}
         out: dict[int, dict[int, HistoryResponse]] = {}
         for round_index in range(self.MAX_ROUNDS):
             transport.flush()
@@ -470,13 +481,24 @@ class QueryFrontend:
                         out[request_id] = dict(arrived)
                         del pending[request_id]
                         continue
-                    self.stats.retransmits += len(missing)
                     for site in missing:
+                        next_round, delay = backoff.get((request_id, site), (0, 1))
+                        if round_index < next_round:
+                            continue
+                        backoff[(request_id, site)] = (
+                            round_index + delay,
+                            min(2 * delay, self.BACKOFF_CAP),
+                        )
                         if round_index >= _FAILOVER_ROUNDS:
                             targets[site] = site
+                        self.stats.retransmits += 1
                         retransmit.append((request_id, payload, site, targets[site]))
             if not pending:
                 return out
+            if retransmit:
+                ledger = getattr(transport, "ledger", None)
+                if ledger is not None:
+                    ledger.note_frontend_retransmits(len(retransmit))
             for request_id, payload, site, endpoint in retransmit:
                 _, _, request = pending[request_id]
                 transport.send(

@@ -1,0 +1,132 @@
+"""Simulated vendor reader feeds: the dirty text firehose at the edge.
+
+Real deployments do not hand the federation a sorted columnar
+:class:`~repro.sim.trace.Trace`; they hand it per-reader vendor feeds —
+line-oriented records that arrive duplicated, interleaved with garbage,
+mildly reordered, and sometimes not at all for minutes before a burst
+replay. :class:`VendorFeed` renders one reader's slice of a clean trace
+into exactly that, under a seeded noise model, so the edge layer can be
+tested against the paper's actual operating conditions while the
+underlying *set* of true readings stays exactly the clean trace's (the
+chaos oracle: noise may duplicate, delay, and pollute the feed, never
+lose a reading — loss is already modeled by the read-rate sampler).
+
+Line formats (comma-separated text, the lowest common denominator of
+vendor protocols):
+
+* ``RD,<epoch>,<epc>,<reader>`` — one raw reading;
+* ``KA,<epoch>`` — keepalive/progress: everything through ``<epoch>``
+  has been emitted. This is what lets an edge distinguish "reader sees
+  nothing" from "reader is offline": keepalives stop during an offline
+  window, freezing the edge's progress watermark and thereby holding
+  the gateway's epoch seals until the burst replay lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util.rng import spawn_rng
+from repro.sim.trace import Trace
+
+__all__ = ["FeedNoise", "VendorFeed"]
+
+
+@dataclass(frozen=True)
+class FeedNoise:
+    """Seeded per-line noise rates for one vendor feed.
+
+    ``duplicate`` re-emits a reading line immediately; ``junk`` inserts
+    a garbage line (unparseable, or a truncated ``RD`` record) next to a
+    real one; ``shuffle`` is the probability that a chunk of lines is
+    emitted in permuted order. None of them ever removes a reading.
+    """
+
+    duplicate: float = 0.0
+    junk: float = 0.0
+    shuffle: float = 0.0
+
+
+class VendorFeed:
+    """One reader's share of a trace, rendered as a lossy line feed.
+
+    ``offline`` windows ``(t0, t1)`` buffer *everything* — readings and
+    keepalives — while ``t0 <= wall < t1``, then flush the backlog as
+    one burst at ``t1`` (the classic flaky-edge failure: a reader drops
+    off the network for many epochs, then replays its queue).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        reader: int,
+        seed: int = 0,
+        noise: FeedNoise | None = None,
+        offline: tuple[tuple[int, int], ...] = (),
+    ) -> None:
+        self.site = trace.site
+        self.reader = reader
+        self.noise = noise if noise is not None else FeedNoise()
+        mask = trace.readers == reader
+        # time-major trace order keeps the per-reader slice time-sorted.
+        self._times = trace.times[mask]
+        self._tags = [trace.tag_table[i] for i in trace.tag_ids[mask]]
+        self.horizon = trace.horizon
+        # Windows are clamped to end before the horizon so the backlog
+        # always replays by the end of the run.
+        self.offline = tuple(
+            (int(t0), min(int(t1), self.horizon)) for t0, t1 in offline
+        )
+        self._rng = spawn_rng(seed, "vendor", trace.site, reader)
+        self._cursor = 0
+        self._covered = -1  # highest epoch a keepalive has announced
+
+    def _is_offline(self, wall: int) -> bool:
+        return any(t0 <= wall < t1 for t0, t1 in self.offline)
+
+    def emit_until(self, wall: int) -> list[str]:
+        """Lines for everything newly covered at wall-clock ``wall``."""
+        wall = min(wall, self.horizon)
+        if self._is_offline(wall):
+            return []
+        if wall <= self._covered:
+            return []
+        lines: list[str] = []
+        rng = self._rng
+        noise = self.noise
+        while self._cursor < len(self._times) and self._times[self._cursor] <= wall:
+            t = int(self._times[self._cursor])
+            tag = self._tags[self._cursor]
+            self._cursor += 1
+            line = f"RD,{t},{tag},{self.reader}"
+            lines.append(line)
+            if noise.duplicate and rng.random() < noise.duplicate:
+                lines.append(line)
+            if noise.junk and rng.random() < noise.junk:
+                lines.append(self._junk_line(t))
+        self._covered = wall
+        lines.append(f"KA,{wall}")
+        if noise.shuffle and len(lines) > 1 and rng.random() < noise.shuffle:
+            order = rng.permutation(len(lines))
+            lines = [lines[i] for i in order]
+        return lines
+
+    def _junk_line(self, near: int) -> str:
+        roll = int(self._rng.integers(3))
+        if roll == 0:
+            return f"RD,{near},"  # truncated record
+        if roll == 1:
+            return f"RD,{near},bogus-{int(self._rng.integers(1 << 16))},{self.reader}"
+        return f"#{int(self._rng.integers(1 << 30)):x}"  # line noise
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._times) and self._covered >= self.horizon
+
+    @staticmethod
+    def split_trace(trace: Trace) -> list[int]:
+        """The reader ids present in ``trace`` — one feed (and one edge
+        node) per reader, the deployment's physical partitioning."""
+        return sorted(int(r) for r in np.unique(trace.readers))

@@ -29,6 +29,8 @@ __all__ = [
     "evidence_scenario",
     "ColdChainScenario",
     "cold_chain_scenario",
+    "CareFacilityScenario",
+    "care_facility_scenario",
 ]
 
 
@@ -232,4 +234,126 @@ def cold_chain_scenario(
     traces = sampler.sample_all_sites(world.truth, layouts, models, horizon)
     return ColdChainScenario(
         world.truth, traces, layouts, models, fields, catalog, horizon, exposures
+    )
+
+
+@dataclass
+class CareFacilityScenario:
+    """A care facility whose exit door is dwell-monitored.
+
+    Residents wear CASE tags and live on room shelves; the monitoring
+    question is "who has been lingering at the exit door longer than
+    ``dwell_limit`` epochs?" — the paper's elderly-care scenario, fed
+    through the edge ingestion plane in the tests.
+    """
+
+    truth: GroundTruth
+    traces: list[Trace]
+    layouts: list[Layout]
+    models: list[ReadRateModel]
+    horizon: int
+    #: dwell threshold (epochs at the exit) the workload monitors with.
+    dwell_limit: int
+    #: residents who lingered at the exit past ``dwell_limit``
+    #: (tag, arrived-at-exit time) — each must raise an alert.
+    wanderers: list[tuple[EPC, int]] = field(default_factory=list)
+    #: residents who visited the exit but returned inside the limit —
+    #: negatives that must NOT alert.
+    returners: list[tuple[EPC, int]] = field(default_factory=list)
+
+    def exit_violations(self, violations) -> list:
+        """Filter dwell-query violations down to the exit door.
+
+        A dwell monitor keyed on (tag, site, place) also fires for
+        residents parked on their room shelves all day; exit
+        monitoring only cares about the door.
+        """
+        doors = {(site, layout.exit) for site, layout in enumerate(self.layouts)}
+        return [v for v in violations if (v[1], v[2]) in doors]
+
+
+def care_facility_scenario(
+    n_residents: int = 8,
+    n_wanderers: int = 3,
+    n_returners: int = 1,
+    wander_start: int = 300,
+    wander_spacing: int = 150,
+    dwell_limit: int = 120,
+    linger: int = 220,
+    quick_visit: int = 40,
+    horizon: int = 900,
+    read_rate: RateSpec = 0.95,
+    overlap_rate: RateSpec = 0.3,
+    seed: int = 0,
+) -> CareFacilityScenario:
+    """Build the exit-monitoring workload.
+
+    ``n_residents`` residents settle onto room shelves; ``n_wanderers``
+    of them walk to the exit door at staggered times. The first
+    ``n_returners`` head back to their room after ``quick_visit``
+    epochs (inside ``dwell_limit`` — negatives); the rest linger for
+    ``linger`` epochs (past the limit — each must alert) before staff
+    walk them back.
+    """
+    if n_wanderers > n_residents:
+        raise ValueError("more wanderers than residents")
+    if n_returners > n_wanderers:
+        raise ValueError("more returners than wanderers")
+    if quick_visit >= dwell_limit:
+        raise ValueError("quick_visit must stay inside dwell_limit")
+    if linger <= dwell_limit:
+        raise ValueError("linger must exceed dwell_limit")
+    rng = spawn_rng(seed, "care-facility")
+    layout = warehouse_layout(name="care-facility", n_shelves=4)
+    model = ReadRateModel.build(
+        layout,
+        main_rate=read_rate,
+        overlap_rate=overlap_rate,
+        seed=spawn_rng(seed, "care-rates"),
+    )
+    world = World()
+    residents = [EPC(TagKind.CASE, i) for i in range(n_residents)]
+    shelves = layout.shelf_indices
+
+    # Morning intake: entry → belt → room shelf, staggered.
+    rooms: dict[EPC, int] = {}
+    belt_free = 0
+    for idx, resident in enumerate(residents):
+        world.register(resident, 0)
+        t_entry = idx * 8
+        world.move(resident, t_entry, Location(0, layout.entry))
+        t_belt = max(t_entry + 5, belt_free)
+        world.move(resident, t_belt, Location(0, layout.belt))
+        belt_free = t_belt + 5
+        room = int(shelves[idx % len(shelves)])
+        rooms[resident] = room
+        world.move(resident, t_belt + 5, Location(0, room))
+
+    # Wanderers drift to the exit door at staggered times.
+    wanderers: list[tuple[EPC, int]] = []
+    returners: list[tuple[EPC, int]] = []
+    order = list(rng.permutation(n_residents)[:n_wanderers])
+    for k, pick in enumerate(order):
+        resident = residents[int(pick)]
+        t_out = wander_start + k * wander_spacing
+        world.move(resident, t_out, Location(0, layout.exit))
+        stay = quick_visit if k < n_returners else linger
+        world.move(resident, t_out + stay, Location(0, rooms[resident]))
+        if k < n_returners:
+            returners.append((resident, t_out))
+        else:
+            wanderers.append((resident, t_out))
+
+    world.truth.horizon = horizon
+    sampler = ObservationSampler(seed=spawn_rng(seed, "care-sampler"))
+    traces = sampler.sample_all_sites(world.truth, [layout], [model], horizon)
+    return CareFacilityScenario(
+        world.truth,
+        traces,
+        [layout],
+        [model],
+        horizon,
+        dwell_limit,
+        wanderers,
+        returners,
     )

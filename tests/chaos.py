@@ -18,10 +18,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro._util.rng import spawn_rng
 from repro.archive import encode_archive
 from repro.core.service import ServiceConfig
+from repro.edge import EdgePlan, run_ingest
 from repro.queries.q2 import TemperatureExposureQuery
 from repro.runtime import Cluster, FaultPlan, FaultyTransport, Transport
+from repro.sim.vendor import FeedNoise, VendorFeed
 from repro.workloads.scenarios import cold_chain_scenario
 
 #: the harness config: events on (queries run) and change detection on
@@ -83,13 +88,17 @@ def run_chaos(
     config: ServiceConfig = CHAOS_CONFIG,
     transport: Transport | None = None,
     crash: tuple[int, int, int] | None = None,
+    traces: list | None = None,
 ) -> ChaosResult:
     """Run the federated cold chain once and canonicalize the outcome.
 
     ``crash`` is ``(site, crash_time, recover_time)`` — both times must
-    fall inside the same inference interval.
+    fall inside the same inference interval. ``traces`` overrides the
+    scenario's traces (the edge-chaos tests pass gateway-rebuilt
+    traces here; everything else about the run stays the same).
     """
-    with Cluster(scenario.traces, config, transport=transport) as cluster:
+    traces = traces if traces is not None else scenario.traces
+    with Cluster(traces, config, transport=transport) as cluster:
         cluster.add_query(
             "q2",
             lambda site: TemperatureExposureQuery(
@@ -165,6 +174,54 @@ def chaos_plan(seed: int) -> FaultPlan:
 
 def chaos_transport(seed: int) -> FaultyTransport:
     return FaultyTransport(chaos_plan(seed))
+
+
+def edge_flaky_plan(seed: int, traces) -> EdgePlan:
+    """A seeded everything-at-once flaky-edge plan for ``traces``.
+
+    One reader goes offline mid-run then burst-replays, feeds
+    duplicate/corrupt/shuffle lines, every edge↔gateway link drops,
+    duplicates, delays, and reorders, one edge crashes and restarts
+    from its spool, and the gateway crashes and recovers from its WAL.
+    """
+    rng = spawn_rng(seed, "edge-chaos")
+    n_edges = sum(len(VendorFeed.split_trace(trace)) for trace in traces)
+    horizon = max(trace.horizon for trace in traces)
+    t0 = int(rng.integers(horizon // 5, horizon // 2))
+    t1 = t0 + int(rng.integers(horizon // 5, 2 * horizon // 5))
+    return EdgePlan(
+        seed=seed,
+        noise=FeedNoise(duplicate=0.1, junk=0.05, shuffle=0.3),
+        offline={int(rng.integers(n_edges)): (t0, t1)},
+        link_faults=FaultPlan.chaos(
+            seed, drop=0.25, duplicate=0.2, delay=0.25, max_delay=3
+        ),
+        edge_restarts={int(rng.integers(n_edges)): int(rng.integers(t0, horizon))},
+        gateway_restarts=(int(rng.integers(horizon // 4, horizon)),),
+    )
+
+
+def run_edge_ingest(scenario, seed: int, workdir: str, **kwargs):
+    """Ingest the scenario's traces through a fully flaky edge plane."""
+    return run_ingest(
+        scenario.traces,
+        CHAOS_CONFIG.run_interval,
+        workdir,
+        plan=edge_flaky_plan(seed, scenario.traces),
+        **kwargs,
+    )
+
+
+def assert_traces_identical(rebuilt, originals) -> None:
+    """Gateway-rebuilt traces must be bit-identical to the clean ones."""
+    assert len(rebuilt) == len(originals)
+    for got, want in zip(rebuilt, originals):
+        assert got.site == want.site
+        assert got.horizon == want.horizon
+        assert got.tag_table == want.tag_table
+        assert np.array_equal(got.times, want.times)
+        assert np.array_equal(got.tag_ids, want.tag_ids)
+        assert np.array_equal(got.readers, want.readers)
 
 
 def assert_chaos_invariant(

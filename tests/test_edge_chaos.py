@@ -1,0 +1,57 @@
+"""Flaky-edge chaos: the edge plane's convergence oracle.
+
+Feed the chaos scenario's traces through a fully flaky edge plane —
+offline reader with burst replay, duplicated/junk/shuffled feed lines,
+dropped/duplicated/delayed/reordered edge links, an edge crash+spool
+replay, and a gateway crash+WAL recovery — then run the unmodified
+federation over the gateway-rebuilt traces. Everything observable
+(containment, snapshots, alerts, changes, migrations, history,
+archives, data bytes) must be bit-identical to the clean-trace run.
+
+Set ``CHAOS_SEED`` (CI matrix) to verify one extra fault-plan seed.
+"""
+
+import os
+
+import pytest
+
+from chaos import (
+    assert_chaos_invariant,
+    assert_traces_identical,
+    chaos_scenario,
+    run_chaos,
+    run_edge_ingest,
+)
+
+EDGE_CHAOS_SEEDS = (
+    [int(os.environ["CHAOS_SEED"])] if os.environ.get("CHAOS_SEED") else [11, 23]
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return chaos_scenario()
+
+
+@pytest.fixture(scope="module")
+def baseline(scenario):
+    return run_chaos(scenario)
+
+
+class TestEdgeChaos:
+    @pytest.mark.parametrize("seed", EDGE_CHAOS_SEEDS)
+    def test_flaky_edge_converges_bit_identical(
+        self, scenario, baseline, seed, tmp_path
+    ):
+        rebuilt, report = run_edge_ingest(scenario, seed, str(tmp_path))
+        # The faults actually fired, and the plane absorbed them all.
+        assert report.gateway_stats["duplicate_batches"] > 0
+        assert report.gateway_stats["restarts"] == 1
+        assert any(stats["restarts"] for stats in report.edge_stats)
+        assert report.recovery_rounds is not None
+        assert report.edge_gauges["late_readings"] == 0  # seals were held
+        assert_traces_identical(rebuilt, scenario.traces)
+        # The federation over the rebuilt traces: bit-identical output,
+        # zero fault overhead (its own transport never saw a fault).
+        chaotic = run_chaos(scenario, traces=rebuilt)
+        assert_chaos_invariant(baseline, chaotic, expect_overhead=False)

@@ -1,0 +1,97 @@
+"""Property/fuzz tests for the edge batch codec.
+
+Mirrors :mod:`tests.test_serving_fuzz` for the ingestion plane's wire
+format: random batches survive encode→decode; every strict prefix of a
+valid encoding raises :class:`ValueError`; any single bit flip either
+decodes cleanly or raises :class:`ValueError` — never ``EOFError``,
+``IndexError``, or ``struct.error``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.edge import EdgeBatch, decode_edge_batch, encode_edge_batch
+from repro.sim.tags import EPC, TagKind
+from repro.sim.trace import Reading
+
+
+def epcs():
+    return st.builds(
+        EPC,
+        st.sampled_from([TagKind.PALLET, TagKind.CASE, TagKind.ITEM]),
+        st.integers(0, 2**20),
+    )
+
+
+def readings():
+    return st.builds(
+        Reading,
+        st.integers(0, 2**20),
+        epcs(),
+        st.integers(0, 2**16),
+    )
+
+
+def batches():
+    return st.builds(
+        EdgeBatch,
+        edge_id=st.integers(0, 2**10),
+        site=st.integers(0, 2**10),
+        seq=st.integers(1, 2**32),
+        upto=st.integers(0, 2**20),
+        readings=st.lists(readings(), max_size=8).map(tuple),
+    )
+
+
+def corpus_data() -> bytes:
+    batch = EdgeBatch(
+        3,
+        1,
+        9,
+        250,
+        (Reading(5, EPC(TagKind.CASE, 2), 3), Reading(7, EPC(TagKind.ITEM, 11), 0)),
+    )
+    return encode_edge_batch(batch)
+
+
+class TestRoundTrips:
+    @given(batch=batches())
+    @settings(max_examples=120)
+    def test_encode_decode(self, batch):
+        assert decode_edge_batch(encode_edge_batch(batch)) == batch
+
+    def test_rejects_invalid_sequence_number(self):
+        data = encode_edge_batch(EdgeBatch(0, 0, 0, 0, ()))
+        with pytest.raises(ValueError, match="sequence"):
+            decode_edge_batch(data)
+
+    def test_rejects_trailing_bytes(self):
+        with pytest.raises(ValueError, match="trailing"):
+            decode_edge_batch(corpus_data() + b"\x00")
+
+
+class TestAdversarialBytes:
+    def test_every_truncated_prefix_raises_value_error(self):
+        data = corpus_data()
+        for cut in range(len(data)):
+            with pytest.raises(ValueError):
+                decode_edge_batch(data[:cut])
+
+    def test_every_bit_flip_is_valueerror_or_clean(self):
+        data = corpus_data()
+        for pos in range(len(data)):
+            for bit in range(8):
+                corrupt = bytearray(data)
+                corrupt[pos] ^= 1 << bit
+                try:
+                    decode_edge_batch(bytes(corrupt))
+                except ValueError:
+                    pass  # the contract: ValueError, nothing rawer
+
+    @given(junk=st.binary(max_size=80))
+    @settings(max_examples=80)
+    def test_random_junk_never_leaks_decoder_errors(self, junk):
+        try:
+            decode_edge_batch(junk)
+        except ValueError:
+            pass

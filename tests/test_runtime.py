@@ -305,6 +305,35 @@ class TestProcessTransport:
             with pytest.raises(RuntimeError, match="ZeroDivisionError"):
                 transport.site_call(1, "boom")
 
+    def test_dead_worker_raises_worker_died_instead_of_hanging(self):
+        """Regression: a worker dying mid-command used to leave the
+        parent blocked forever on the FIFO reply read. The liveness
+        poll must surface WorkerDied naming the worker and the op."""
+        import os
+
+        from repro.runtime import WorkerDied
+
+        transport = ProcessTransport(n_workers=2)
+        for site in range(2):
+            transport.register(site, lambda env: None)
+            transport.host_site(
+                site,
+                {
+                    "attach": lambda shim: None,
+                    "echo": lambda *args: args,
+                    "die": lambda: os._exit(3),
+                },
+            )
+        try:
+            transport.site_cast(0, "echo")  # fork the workers
+            transport.flush()
+            with pytest.raises(WorkerDied, match="die@site0") as err:
+                transport.site_call(0, "die")
+            assert err.value.worker == 0
+            assert err.value.op == "call die@site0"
+        finally:
+            transport.close()
+
     def test_cast_error_surfaces_at_flush(self):
         with hosted_process_transport() as transport:
             transport.site_cast(1, "boom")

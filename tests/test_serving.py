@@ -226,6 +226,31 @@ class TestAtLeastOnce:
         finally:
             cluster.close()
 
+    def test_dead_site_backoff_caps_retransmit_rate(self, scenario):
+        """Regression: a dead site used to draw one retransmit per
+        gather round — a hot loop for the whole MAX_ROUNDS budget. The
+        capped exponential backoff makes that O(log rounds), surfaced
+        via the ledger's frontend_retransmits gauge."""
+
+        class DeadSite(InProcessTransport):
+            def send(self, env: Envelope) -> None:
+                if env.kind == HISTORY_REQUEST and env.dst == 1:
+                    self.ledger.send(env.src, env.dst, env.kind, env.payload)
+                    return  # site 1 never answers
+                super().send(env)
+
+        transport = DeadSite()
+        cluster, frontend = run_served(scenario, transport=transport)
+        try:
+            frontend.MAX_ROUNDS = 40
+            with pytest.raises(RuntimeError, match="missing responses"):
+                frontend.session().containment(probe_tags(scenario)[0], 600)
+            # Retransmits at rounds 0, 1, 3, 7, 15, 31 — six, not forty.
+            assert frontend.stats.retransmits == 6
+            assert transport.ledger.frontend_retransmits == 6
+        finally:
+            cluster.close()
+
     def test_gather_gives_up_after_round_limit(self, scenario):
         class BlackHole(InProcessTransport):
             def send(self, env: Envelope) -> None:

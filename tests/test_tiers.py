@@ -10,7 +10,12 @@ import numpy as np
 import pytest
 
 from repro.archive import encode_archive
-from repro.archive.tiers import DiskTier, SegmentHandle, TieredSegments
+from repro.archive.tiers import (
+    ArchiveCorruption,
+    DiskTier,
+    SegmentHandle,
+    TieredSegments,
+)
 from repro.serving.history import HistoryService
 from repro.sim.tags import EPC, TagKind
 
@@ -61,6 +66,37 @@ class TestDiskTier:
             fh.write(b"\xff\xff\xff")
         with pytest.raises(ValueError):
             tier.load(handle)
+
+    def test_truncated_spill_raises_descriptive_corruption(self, tmp_path):
+        tier = DiskTier(str(tmp_path))
+        handle = tier.store(make_segment(8))
+        blob = open(handle.path, "rb").read()
+        with open(handle.path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])  # crash mid-write
+        with pytest.raises(ArchiveCorruption, match=handle.path):
+            tier.load(handle)
+        assert tier.stats.corruptions == 1
+        # The intact copy still loads after the file is repaired.
+        with open(handle.path, "wb") as fh:
+            fh.write(blob)
+        assert columns_equal(tier.load(handle), make_segment(8))
+
+    def test_every_bit_flip_is_caught_and_counted(self, tmp_path):
+        tier = DiskTier(str(tmp_path), max_resident=1)
+        handle = tier.store(make_segment(3))
+        blob = bytearray(open(handle.path, "rb").read())
+        flips = 0
+        for pos in range(0, len(blob), 7):  # sample positions, every byte region
+            corrupt = bytearray(blob)
+            corrupt[pos] ^= 0x10
+            with open(handle.path, "wb") as fh:
+                fh.write(bytes(corrupt))
+            tier._resident.clear()  # force a disk read
+            with pytest.raises(ArchiveCorruption, match="checksum|malformed"):
+                tier.load(handle)
+            flips += 1
+        assert tier.stats.corruptions == flips
+        assert tier.stats.loads == 0  # nothing corrupt ever counted loaded
 
     def test_invalid_configuration(self, tmp_path):
         with pytest.raises(ValueError):
