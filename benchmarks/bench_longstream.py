@@ -1,0 +1,294 @@
+"""Long-stream bench — the stability gate's headline numbers.
+
+Streams a **stable-heavy** cold chain (a handful of early exposures,
+then thousands of epochs of shelf-stable items — the regime the
+paper's deployments live in) through the single-site service at 1x and
+10x stream length, gated and ungated, and records per point:
+
+* **epochs/sec** — stream epochs over total inference seconds;
+* **service-state RSS delta** — peak RSS minus the RSS right after the
+  trace was built, i.e. the memory the *service* accrued. The trace
+  itself grows linearly with stream length by construction, so peak
+  RSS alone cannot show whether inference state is bounded; the delta
+  can.
+* the stability gate's skip split (pruned vs full tags, cumulative)
+  and the retained run/event counts under the memory budget.
+
+Every point runs in its own forked child process so RSS measurements
+do not contaminate each other. Both configs run identical change
+detection with an explicit threshold (no calibration divergence).
+
+Two structural gates hard-fail the bench (no baseline needed):
+
+* **pruning speedup** — gated epochs/s at 10x length must be >=
+  ``MIN_SPEEDUP`` x the ungated rate (the committed baseline records
+  ~2.3x; the gate floor leaves margin for runner noise);
+* **flat RSS** — the gated service-state delta at 10x length must stay
+  within ``MAX_RSS_RATIO`` of the 1x delta. The ungated points, kept
+  for contrast, grow their run/event history linearly.
+
+Results land in ``BENCH_longstream.json``; the committed copy is the
+baseline CI gates against with the usual hardware-normalized latency
+budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_longstream.py             # full sweep
+    PYTHONPATH=src python benchmarks/bench_longstream.py --smoke \\
+        --output BENCH_longstream.ci.json \\
+        --baseline BENCH_longstream.json --max-regression 0.25      # CI gate
+
+or through pytest (``python -m pytest benchmarks/bench_longstream.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import resource
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _common import (  # noqa: E402
+    bench_cli,
+    calibration_seconds,
+    emit_table,
+    load_baseline,
+    normalized_latency_failures,
+)
+
+from repro.core.online import MemoryBudget, OnlineConfig  # noqa: E402
+from repro.core.service import ServiceConfig, StreamingInference  # noqa: E402
+from repro.sim.tags import TagKind  # noqa: E402
+from repro.workloads.scenarios import cold_chain_scenario  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_longstream.json")
+
+BASE_LENGTH = 1500
+LONG_FACTOR = 10
+#: the stable-heavy deployment: 16 cases x 12 items, four exposures in
+#: the first ~450 epochs, stable shelf-sitting for the rest.
+SCENARIO = dict(
+    seed=52, n_sites=1, n_freezer_cases=8, n_room_cases=8, items_per_case=12
+)
+#: gated epochs/s over ungated at 10x length; the committed baseline
+#: records ~2.3x, the floor leaves runner-noise margin.
+MIN_SPEEDUP = 1.8
+#: gated service-state RSS delta at 10x over 1x (the flat-RSS claim).
+MAX_RSS_RATIO = 1.15
+#: deltas below this are allocator noise, not inference state.
+RSS_FLOOR_BYTES = 4_000_000
+
+
+def _service_config(gated: bool) -> ServiceConfig:
+    return ServiceConfig(
+        run_interval=300,
+        recent_history=600,
+        truncation="cr",
+        emit_events=True,
+        event_period=10,
+        change_detection=True,
+        change_threshold=80.0,
+        online=OnlineConfig() if gated else None,
+        budget=MemoryBudget(horizon=2400) if gated else None,
+    )
+
+
+def _rss_field(field: str) -> int:
+    """Current (`VmRSS`) or peak (`VmHWM`) RSS in bytes, via /proc."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def _measure_point(length: int, gated: bool, conn) -> None:
+    """Child-process body: build, stream, measure, report."""
+    scenario = cold_chain_scenario(horizon=length, **SCENARIO)
+    service = StreamingInference(scenario.trace, _service_config(gated))
+    rss_after_build = _rss_field("VmRSS")
+    durations: list[float] = []
+    pruned = full = 0
+    boundary = service.config.run_interval
+    while boundary <= length:
+        record = service.run_at(boundary)
+        durations.append(record.duration_seconds)
+        pruned += record.pruned_tags
+        full += record.full_tags
+        service.truncate_history()
+        boundary = service.last_run_time + service.config.run_interval
+    peak_rss = _rss_field("VmHWM")
+    latencies = np.asarray(durations)
+    conn.send(
+        {
+            "label": f"{'gated' if gated else 'ungated'}-{length}",
+            "gated": gated,
+            "stream_epochs": length,
+            "n_items": sum(
+                1 for t in scenario.trace.tag_table if t.kind is TagKind.ITEM
+            ),
+            "n_readings": len(scenario.trace),
+            "runs": len(durations),
+            "total_inference_seconds": service.total_inference_seconds,
+            "epochs_per_sec": length / max(service.total_inference_seconds, 1e-12),
+            "latency_p50_seconds": float(np.percentile(latencies, 50)),
+            "latency_p95_seconds": float(np.percentile(latencies, 95)),
+            "pruned_tags": pruned,
+            "full_tags": full,
+            "runs_retained": len(service.runs),
+            "events_retained": len(service.events),
+            "events_truncated": service.events_truncated,
+            "base_rows_evicted": service._windows.rows_evicted,
+            "rss_after_build_bytes": rss_after_build,
+            "peak_rss_bytes": peak_rss,
+            "service_rss_delta_bytes": max(peak_rss - rss_after_build, 0),
+        }
+    )
+    conn.close()
+
+
+def run_point(length: int, gated: bool) -> dict:
+    """Run one (length, config) point in a fresh forked process."""
+    parent, child = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(target=_measure_point, args=(length, gated, child))
+    proc.start()
+    child.close()
+    point = parent.recv()
+    proc.join()
+    if proc.exitcode != 0:
+        raise RuntimeError(f"bench child for {point['label']} exited {proc.exitcode}")
+    return point
+
+
+def build_payload(smoke: bool) -> dict:
+    # The sweep is already CI-sized (four child runs, ~15s total), so
+    # smoke and full runs measure the same points.
+    calibration = calibration_seconds()
+    long_length = BASE_LENGTH * LONG_FACTOR
+    points = [
+        run_point(BASE_LENGTH, gated=False),
+        run_point(BASE_LENGTH, gated=True),
+        run_point(long_length, gated=False),
+        run_point(long_length, gated=True),
+    ]
+    by_label = {p["label"]: p for p in points}
+    gated_1x = by_label[f"gated-{BASE_LENGTH}"]
+    gated_10x = by_label[f"gated-{long_length}"]
+    ungated_10x = by_label[f"ungated-{long_length}"]
+    speedup = gated_10x["epochs_per_sec"] / ungated_10x["epochs_per_sec"]
+    rss_ratio = max(gated_10x["service_rss_delta_bytes"], RSS_FLOOR_BYTES) / max(
+        gated_1x["service_rss_delta_bytes"], RSS_FLOOR_BYTES
+    )
+    payload = {
+        "schema_version": 1,
+        "bench": "longstream",
+        "smoke": smoke,
+        "calibration_seconds": calibration,
+        "points": points,
+        "pruning_speedup_10x": round(speedup, 4),
+        "service_rss_ratio_10x": round(rss_ratio, 4),
+    }
+    failures = structural_failures(payload)
+    if failures:
+        raise RuntimeError("; ".join(failures))
+    return payload
+
+
+def structural_failures(payload: dict) -> list[str]:
+    """The baseline-free gates: pruning speedup and flat RSS."""
+    failures = []
+    if payload["pruning_speedup_10x"] < MIN_SPEEDUP:
+        failures.append(
+            f"pruning speedup {payload['pruning_speedup_10x']:.2f}x "
+            f"below the {MIN_SPEEDUP}x floor"
+        )
+    if payload["service_rss_ratio_10x"] > MAX_RSS_RATIO:
+        failures.append(
+            f"gated service RSS grew {payload['service_rss_ratio_10x']:.2f}x "
+            f"at 10x stream length (cap {MAX_RSS_RATIO}x)"
+        )
+    gated_points = [p for p in payload["points"] if p["gated"]]
+    for point in gated_points:
+        if point["pruned_tags"] == 0:
+            failures.append(f"{point['label']}: the stability gate never pruned")
+    return failures
+
+
+def check_regression(payload: dict, baseline_path: str, budget: float) -> list[str]:
+    """Structural gates plus the normalized-latency baseline comparison."""
+    failures = structural_failures(payload)
+    failures += normalized_latency_failures(
+        payload, load_baseline(baseline_path), budget, "latency_p50_seconds"
+    )
+    return failures
+
+
+def emit(payload: dict) -> None:
+    rows = [
+        [
+            point["label"],
+            point["stream_epochs"],
+            point["runs"],
+            f"{point['epochs_per_sec']:.0f}",
+            f"{point['pruned_tags']}/{point['pruned_tags'] + point['full_tags']}",
+            point["events_retained"],
+            f"{point['service_rss_delta_bytes'] / 1e6:.1f}MB",
+        ]
+        for point in payload["points"]
+    ]
+    emit_table(
+        "Long-stream (stable-heavy, gated vs ungated)",
+        ["config", "epochs", "runs", "epochs/s", "pruned/total", "events kept", "svc RSS"],
+        rows,
+    )
+    sys.__stdout__.write(
+        f"pruning speedup at 10x: {payload['pruning_speedup_10x']:.2f}x, "
+        f"gated RSS ratio 10x/1x: {payload['service_rss_ratio_10x']:.2f}\n"
+    )
+    sys.__stdout__.flush()
+
+
+def _build_and_emit(smoke: bool) -> dict:
+    payload = build_payload(smoke)
+    emit(payload)
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    return bench_cli(
+        argv,
+        doc=__doc__,
+        build_payload=_build_and_emit,
+        check=check_regression,
+        default_output=DEFAULT_OUTPUT,
+    )
+
+
+def test_longstream(benchmark):
+    payload = benchmark.pedantic(lambda: build_payload(True), rounds=1, iterations=1)
+    emit(payload)
+    default = os.path.join(os.path.dirname(__file__), "results", "BENCH_longstream.json")
+    os.makedirs(os.path.dirname(default), exist_ok=True)
+    with open(os.environ.get("BENCH_LONGSTREAM_OUT", default), "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    # build_payload already hard-fails on the structural gates; assert
+    # the headline shapes explicitly so the pytest path reports them.
+    assert payload["pruning_speedup_10x"] >= MIN_SPEEDUP
+    assert payload["service_rss_ratio_10x"] <= MAX_RSS_RATIO
+    # The memory budget must actually be truncating at 10x length.
+    gated_10x = [p for p in payload["points"] if p["gated"]][-1]
+    assert gated_10x["events_truncated"] > 0
+    assert gated_10x["runs_retained"] < gated_10x["runs"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,8 +6,11 @@ records, per configuration:
 
 * **epochs/sec** — stream epochs divided by total inference seconds;
 * **per-run latency** p50/p95 and the per-phase breakdown
-  (window build / E-step / M-step / evidence / change detection /
-  critical regions / events) from ``RunRecord.phase_seconds``;
+  (online detector / window build / stability-gate pruning / E-step /
+  M-step / evidence / change detection / critical regions / events)
+  from ``RunRecord.phase_seconds`` — the detector and prune phases are
+  exact zeros here because this sweep runs ungated (the gated
+  long-stream sweep lives in ``bench_longstream.py``);
 * **peak RSS** of the process.
 
 A second, **federated** sweep drives an 8-site supply-chain federation
@@ -70,7 +73,17 @@ DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_throughput.json")
 #: (items/case, cases/pallet) — the first entry is the smoke subset.
 ITEM_COUNTS = [(6, 5), (12, 5), (20, 6)]
 HORIZON = 1500
-PHASES = ["window", "e_step", "m_step", "evidence", "changes", "cr", "events"]
+PHASES = [
+    "detector",
+    "window",
+    "prune",
+    "e_step",
+    "m_step",
+    "evidence",
+    "changes",
+    "cr",
+    "events",
+]
 
 #: federated scale-out sweep: supply-chain *chains* (every pallet
 #: visits every site, so per-site load is near-uniform and the default
@@ -253,7 +266,7 @@ def build_payload(smoke: bool) -> dict:
     points = run_sweep(smoke)
     fed_points, machine = run_federated_sweep(smoke)
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "bench": "throughput",
         "smoke": smoke,
         "calibration_seconds": calibration,

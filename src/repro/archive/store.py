@@ -464,8 +464,9 @@ class SiteArchive:
                 f"archive at boundary {self.last_boundary} cannot ingest "
                 f"older boundary {boundary}"
             )
-        fresh = service.events[self._event_cursor :]
-        self._event_cursor = len(service.events)
+        # Absolute cursor: survives the service's memory budget
+        # dropping already-ingested events off the front.
+        fresh, self._event_cursor = service.events_since(self._event_cursor)
         for event in fresh:
             tag_id = self.intern_tag(event.tag)
             container = (

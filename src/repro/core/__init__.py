@@ -12,6 +12,9 @@
   (Eq. 7, Fig. 4).
 * :mod:`repro.core.changepoint` — GLR change-point detection with
   offline threshold calibration (§3.3, Appendix A.2).
+* :mod:`repro.core.online` — streaming (BOCPD-style) change detection,
+  the stability gate that lets stable tags skip the EM hot path, and
+  the memory budget for bounded long streams.
 * :mod:`repro.core.truncation` — critical-region history truncation
   (§4.1).
 * :mod:`repro.core.collapsed` — collapsed inference state for state
@@ -24,6 +27,7 @@ from repro.core.changepoint import ChangePointDetector, calibrate_threshold
 from repro.core.collapsed import CollapsedState
 from repro.core.events import ObjectEvent
 from repro.core.likelihood import TraceWindow, WindowCache
+from repro.core.online import MemoryBudget, OnlineChangeDetector, OnlineConfig
 from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
 from repro.core.service import ServiceConfig, StreamingInference
 from repro.core.truncation import (
@@ -37,7 +41,10 @@ __all__ = [
     "CollapsedState",
     "CriticalRegion",
     "InferenceConfig",
+    "MemoryBudget",
     "ObjectEvent",
+    "OnlineChangeDetector",
+    "OnlineConfig",
     "RFInfer",
     "RFInferResult",
     "ServiceConfig",

@@ -307,6 +307,24 @@ class TraceWindow:
         return self.group_posterior([tag])
 
 
+class _CachedBase:
+    """Reusable slice of a window's base matrix (the eviction survivor).
+
+    Duck-types the four attributes :meth:`TraceWindow._build_base`
+    reads from its ``reuse`` argument; the sliced ``base`` is copied so
+    the evicted rows' memory is actually released (a numpy view would
+    pin the full parent matrix).
+    """
+
+    __slots__ = ("trace", "epochs", "n_rows", "base")
+
+    def __init__(self, trace: Trace, epochs: np.ndarray, base: np.ndarray) -> None:
+        self.trace = trace
+        self.epochs = epochs.copy()
+        self.n_rows = int(epochs.size)
+        self.base = base.copy()
+
+
 class WindowCache:
     """Incremental window builder for a periodic inference service.
 
@@ -321,15 +339,25 @@ class WindowCache:
     Everything reused is a pure function of ``(trace, epoch)``, so a
     cache hit is bitwise identical to a cold build — a site restored
     from a checkpoint (cold cache) produces exactly the results of one
-    that never crashed.
+    that never crashed. For the same reason ``max_age`` eviction can
+    only lower the hit rate, never change a result: rows older than
+    ``newest epoch − max_age`` are dropped from the retained copy, so
+    the cache's footprint stays bounded on unboundedly long streams
+    (under the ``"all"`` policy the previous window otherwise grows
+    with the stream).
     """
 
-    def __init__(self, trace: Trace) -> None:
+    def __init__(self, trace: Trace, max_age: int | None = None) -> None:
+        if max_age is not None and max_age < 1:
+            raise ValueError("max_age must be >= 1 when set")
         self.trace = trace
-        self._previous: TraceWindow | None = None
+        self.max_age = max_age
+        self._previous: TraceWindow | _CachedBase | None = None
         #: cumulative base rows served from cache (telemetry for benches).
         self.rows_reused = 0
         self.rows_built = 0
+        #: cumulative rows dropped by ``max_age`` eviction.
+        self.rows_evicted = 0
 
     def window(
         self, epochs: Iterable[int], tags: Sequence[EPC] | None = None
@@ -338,8 +366,22 @@ class WindowCache:
         built = TraceWindow(self.trace, epochs, tags, reuse=self._previous)
         self.rows_reused += built.base_rows_reused
         self.rows_built += built.n_rows - built.base_rows_reused
-        self._previous = built
+        self._previous = self._evict(built)
         return built
+
+    def _evict(self, built: TraceWindow) -> "TraceWindow | _CachedBase":
+        if self.max_age is None:
+            return built
+        cutoff = int(built.epochs[-1]) + 1 - self.max_age
+        if int(built.epochs[0]) >= cutoff:
+            return built
+        lo = int(np.searchsorted(built.epochs, cutoff))
+        self.rows_evicted += lo
+        return _CachedBase(self.trace, built.epochs[lo:], built.base[lo:])
+
+    def cached_rows(self) -> int:
+        """Base rows the cache currently retains for reuse."""
+        return 0 if self._previous is None else self._previous.n_rows
 
     def clear(self) -> None:
         self._previous = None

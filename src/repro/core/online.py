@@ -1,0 +1,469 @@
+"""Online change-point detection and bounded-memory streaming (§3.3 bis).
+
+The paper's change-point machinery (:mod:`repro.core.changepoint`) is
+*retrospective*: every inference boundary re-scans the evidence window
+for every tag, even though most tags don't move most epochs. This
+module adds the streaming counterpart — a BOCPD-style **run-length
+posterior** per tag, updated in O(1) per boundary from that interval's
+raw readings, with no history re-scan:
+
+* each inference boundary reduces the interval's readings to one
+  observation per tag — *supportive* (the tag co-reads with its
+  believed container within a configurable ratio of its best rival),
+  *contrary* (the incumbent count collapses relative to a rival, or
+  exactly one of the pair is read at all), or *silent* (neither is
+  read);
+* a truncated run-length posterior ``P(r_t | x_1..t)`` is maintained
+  per tag under a constant hazard: supportive observations pile mass
+  onto long runs, a contrary observation collapses it back to zero.
+
+The **stability gate** built on top decides, before each run, which
+tags may skip the EM/CR/event hot path entirely: a tag is *prunable*
+when its posterior says "no change for at least ``stability_runs``
+boundaries, with probability ``posterior_threshold``" — and it is not
+cooling off after a flag, not stale (unread too long), and not due for
+its seeded periodic refresh. A contrary observation *flags* the tag:
+the run-length posterior resets and the tag re-enters full inference
+for ``cooloff_runs`` boundaries, so the window that covers the change
+is inferred in full.
+
+Everything here is exact-arithmetic deterministic (pure float64
+numpy), and the detector state round-trips through a versioned codec
+(:func:`encode_online_state`) so checkpointed sites recover
+bit-identically — malformed input raises :class:`ValueError`, like
+every other wire format in this repository.
+
+:class:`MemoryBudget` is the companion knob for week-long streams: it
+bounds *all* per-run state (run records, the event backlog, critical
+regions, window epochs, cached base rows) to a sliding epoch horizon —
+see :meth:`repro.core.service.StreamingInference.truncate_history`.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.encoding import ByteReader, ByteWriter
+from repro.sim.tags import EPC, TagKind, read_epc, read_opt_epc, write_epc, write_opt_epc
+from repro.sim.trace import Trace
+
+__all__ = [
+    "OnlineConfig",
+    "MemoryBudget",
+    "IntervalSignals",
+    "interval_signals",
+    "OnlineChangeDetector",
+    "encode_online_state",
+    "decode_online_state",
+    "ONLINE_STATE_VERSION",
+]
+
+#: observation outcomes for one (tag, boundary) interval.
+SUPPORT, CONTRA, SILENT = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Tunables of the online detector and its stability gate."""
+
+    #: prior per-boundary probability that a tag's containment changed.
+    hazard: float = 0.02
+    #: P(supportive interval | containment unchanged).
+    support_rate: float = 0.95
+    #: P(supportive interval | containment just changed) — agnostic.
+    change_rate: float = 0.5
+    #: minimum run length (in boundaries) before a tag may be pruned.
+    stability_runs: int = 3
+    #: required posterior mass on runs >= ``stability_runs``.
+    posterior_threshold: float = 0.9
+    #: boundaries of forced full inference after a contrary flag.
+    cooloff_runs: int = 2
+    #: every tag re-enters full inference once per this many boundaries,
+    #: on a per-tag phase seeded from ``seed`` (0 disables). The refresh
+    #: bounds how stale a pruned tag's exported weights can get.
+    refresh_interval: int = 16
+    #: a tag's interval is supportive when its co-read count with the
+    #: incumbent is at least this fraction of its best rival's count.
+    #: Containers sharing a location co-read near-equally (their counts
+    #: cannot discriminate them — that is EM's job), so demanding an
+    #: outright win would flag stable tags on count noise; a genuine
+    #: move to another location collapses the incumbent count toward
+    #: zero and still fails the ratio.
+    support_ratio: float = 0.5
+    #: truncation length of the run-length posterior (memory bound).
+    max_run_length: int = 64
+    #: consecutive silent boundaries after which a pruned tag re-enters
+    #: full inference (it may have left the site).
+    stale_limit: int = 2
+    #: seeds the per-tag refresh phases.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hazard < 1.0:
+            raise ValueError("hazard must be in (0, 1)")
+        if not 0.0 < self.support_rate < 1.0:
+            raise ValueError("support_rate must be in (0, 1)")
+        if not 0.0 < self.change_rate < 1.0:
+            raise ValueError("change_rate must be in (0, 1)")
+        if self.stability_runs < 1:
+            raise ValueError("stability_runs must be >= 1")
+        if not 0.0 < self.posterior_threshold <= 1.0:
+            raise ValueError("posterior_threshold must be in (0, 1]")
+        if self.cooloff_runs < 1:
+            raise ValueError("cooloff_runs must be >= 1")
+        if self.refresh_interval < 0:
+            raise ValueError("refresh_interval must be >= 0")
+        if self.max_run_length < self.stability_runs + 1:
+            raise ValueError("max_run_length must exceed stability_runs")
+        if not 0.0 < self.support_ratio <= 1.0:
+            raise ValueError("support_ratio must be in (0, 1]")
+        if self.stale_limit < 1:
+            raise ValueError("stale_limit must be >= 1")
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Hard bound on per-run state retained by a streaming service.
+
+    ``horizon`` is the sliding epoch window state may cover: run
+    records and events older than ``last_run_time - horizon`` are
+    dropped (the archive, fed every boundary, is the spill target),
+    critical regions that ended before it are discarded, inference
+    windows are clamped to it, and the window cache evicts base rows
+    beyond it. ``retained_runs`` optionally caps the run-record count
+    regardless of age.
+    """
+
+    horizon: int = 2400
+    retained_runs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.retained_runs is not None and self.retained_runs < 1:
+            raise ValueError("retained_runs must be >= 1 when set")
+
+
+# -- interval signals --------------------------------------------------------
+
+
+class IntervalSignals:
+    """One boundary interval's readings, reduced to gate observations.
+
+    Built from the raw trace columns in one vectorized pass (a sorted-
+    merge join over packed ``(epoch, reader)`` keys, the same technique
+    as :func:`repro.core.candidates.colocation_counts`): per-tag read
+    counts plus per-(object, container) co-read counts.
+    """
+
+    def __init__(self, trace: Trace, start: int, end: int) -> None:
+        self.start = start
+        self.end = end
+        self._trace = trace
+        times, tag_ids, readers = trace.readings_in_columns(start, end)
+        n_tags = len(trace.tag_table)
+        self._reads = (
+            np.bincount(tag_ids, minlength=n_tags)
+            if tag_ids.size
+            else np.zeros(n_tags, dtype=np.int64)
+        )
+        #: per object tag id: {container tag id: co-read count}.
+        self._pairs: dict[int, dict[int, int]] = {}
+        if not tag_ids.size:
+            return
+        kinds = np.fromiter(
+            (int(t.kind) for t in trace.tag_table), dtype=np.int64, count=n_tags
+        )
+        row_kinds = kinds[tag_ids]
+        obj_sel = row_kinds == int(TagKind.ITEM)
+        con_sel = row_kinds == int(TagKind.CASE)
+        if not obj_sel.any() or not con_sel.any():
+            return
+        stride = int(readers.max()) + 1
+        keys = times * stride + readers
+        obj_keys, obj_ids = keys[obj_sel], tag_ids[obj_sel]
+        con_keys, con_ids = keys[con_sel], tag_ids[con_sel]
+        order = np.argsort(con_keys, kind="stable")
+        con_keys, con_ids = con_keys[order], con_ids[order]
+        starts = np.searchsorted(con_keys, obj_keys, side="left")
+        ends = np.searchsorted(con_keys, obj_keys, side="right")
+        lengths = ends - starts
+        hit = lengths > 0
+        if not hit.any():
+            return
+        starts, lengths = starts[hit], lengths[hit]
+        total = int(lengths.sum())
+        offsets = np.cumsum(lengths) - lengths
+        flat = np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
+        pair_obj = np.repeat(obj_ids[hit], lengths)
+        pair_con = con_ids[flat]
+        codes, counts = np.unique(
+            pair_obj.astype(np.int64) * n_tags + pair_con, return_counts=True
+        )
+        for code, count in zip(codes.tolist(), counts.tolist()):
+            self._pairs.setdefault(code // n_tags, {})[code % n_tags] = count
+
+    def reads(self, tag: EPC) -> int:
+        """Readings of ``tag`` inside the interval."""
+        tag_id = self._trace.tag_id(tag)
+        return 0 if tag_id is None else int(self._reads[tag_id])
+
+    def classify(self, tag: EPC, incumbent: EPC, support_ratio: float = 0.5) -> int:
+        """SUPPORT / CONTRA / SILENT for ``tag`` vs its believed container.
+
+        Co-located containers co-read near-equally, so the incumbent is
+        supported whenever its co-read count stays within
+        ``support_ratio`` of the best rival's — only a *collapse* of
+        the incumbent count (the signature of an actual move) reads as
+        contrary.
+        """
+        if self.reads(tag) == 0 and self.reads(incumbent) == 0:
+            return SILENT
+        tag_id = self._trace.tag_id(tag)
+        inc_id = self._trace.tag_id(incumbent)
+        if tag_id is None or inc_id is None:
+            return CONTRA
+        pairs = self._pairs.get(tag_id, {})
+        with_inc = pairs.get(inc_id, 0)
+        if with_inc == 0:
+            return CONTRA
+        best_rival = max(
+            (count for con, count in pairs.items() if con != inc_id), default=0
+        )
+        return SUPPORT if with_inc >= support_ratio * best_rival else CONTRA
+
+
+def interval_signals(trace: Trace, start: int, end: int) -> IntervalSignals:
+    """Reduce the readings of ``[start, end)`` to gate observations."""
+    return IntervalSignals(trace, start, end)
+
+
+# -- the detector ------------------------------------------------------------
+
+
+@dataclass
+class TagState:
+    """Per-tag streaming state (a few dozen bytes, never re-scanned)."""
+
+    incumbent: EPC | None
+    #: normalized log run-length posterior; index ``r`` = "last change
+    #: was ``r`` boundaries ago", last bin absorbs the truncated tail.
+    rl: np.ndarray
+    cooloff: int = 0
+    stale: int = 0
+
+    def __eq__(self, other: object) -> bool:  # array-valued field
+        return (
+            isinstance(other, TagState)
+            and self.incumbent == other.incumbent
+            and self.cooloff == other.cooloff
+            and self.stale == other.stale
+            and np.array_equal(self.rl, other.rl)
+        )
+
+
+def _fresh_rl() -> np.ndarray:
+    return np.zeros(1)  # log P(r=0) = 0
+
+
+def _logsumexp(arr: np.ndarray) -> float:
+    peak = float(arr.max())
+    return peak + float(np.log(np.exp(arr - peak).sum()))
+
+
+class OnlineChangeDetector:
+    """Truncated run-length posterior per tag, plus the stability gate."""
+
+    def __init__(self, config: OnlineConfig | None = None) -> None:
+        self.config = config or OnlineConfig()
+        self.states: dict[EPC, TagState] = {}
+        #: tags ever flagged by a contrary observation (test oracle for
+        #: "unflagged tags are byte-identical to full inference").
+        self.flagged: set[EPC] = set()
+        #: boundaries observed so far (drives the seeded refresh phase).
+        self.boundaries = 0
+        c = self.config
+        self._log_h = math.log(c.hazard)
+        self._log_1mh = math.log1p(-c.hazard)
+        self._ll = {SUPPORT: math.log(c.support_rate), CONTRA: math.log1p(-c.support_rate)}
+        self._nl = {SUPPORT: math.log(c.change_rate), CONTRA: math.log1p(-c.change_rate)}
+
+    # -- the O(1)-per-boundary update ----------------------------------
+
+    def observe(self, signals: IntervalSignals) -> None:
+        """Fold one boundary interval's observations into every track."""
+        self.boundaries += 1
+        for tag, state in self.states.items():
+            if state.incumbent is None:
+                continue
+            obs = signals.classify(tag, state.incumbent, self.config.support_ratio)
+            state.stale = state.stale + 1 if obs == SILENT else 0
+            self._update(state, obs)
+            if obs == CONTRA:
+                self._flag(tag, state)
+
+    def _update(self, state: TagState, obs: int) -> None:
+        rl = state.rl
+        changed = _logsumexp(rl) + self._log_h
+        cont = rl + self._log_1mh
+        if obs != SILENT:
+            # Silence is uninformative (likelihood 1 under both
+            # hypotheses): the posterior only diffuses by the hazard.
+            changed += self._nl[obs]
+            cont = cont + self._ll[obs]
+        max_bins = self.config.max_run_length + 1
+        if rl.size < max_bins:
+            grown = np.empty(rl.size + 1)
+            grown[0] = changed
+            grown[1:] = cont
+        else:
+            grown = np.empty(max_bins)
+            grown[0] = changed
+            grown[1:-1] = cont[:-2]
+            grown[-1] = np.logaddexp(cont[-2], cont[-1])
+        state.rl = grown - _logsumexp(grown)
+
+    def _flag(self, tag: EPC, state: TagState) -> None:
+        state.cooloff = self.config.cooloff_runs
+        state.rl = _fresh_rl()
+        self.flagged.add(tag)
+
+    # -- the stability gate ---------------------------------------------
+
+    def run_length_mass(self, tag: EPC, runs: int) -> float:
+        """Posterior P(run length >= ``runs``) for ``tag`` (0 if unknown)."""
+        state = self.states.get(tag)
+        if state is None or state.rl.size <= runs:
+            return 0.0
+        return float(math.exp(_logsumexp(state.rl[runs:])))
+
+    def refresh_due(self, tag: EPC) -> bool:
+        """Seeded periodic re-verification: is it ``tag``'s turn?"""
+        interval = self.config.refresh_interval
+        if interval <= 0:
+            return False
+        key = f"{self.config.seed}|{int(tag.kind)}|{tag.serial}".encode()
+        return self.boundaries % interval == zlib.crc32(key) % interval
+
+    def prunable(self, tag: EPC, incumbent: EPC | None) -> bool:
+        """May ``tag`` skip full inference at the upcoming boundary?"""
+        state = self.states.get(tag)
+        if (
+            state is None
+            or incumbent is None
+            or state.incumbent != incumbent
+            or state.cooloff > 0
+            or state.stale >= self.config.stale_limit
+            or self.refresh_due(tag)
+        ):
+            return False
+        mass = self.run_length_mass(tag, self.config.stability_runs)
+        return mass >= self.config.posterior_threshold
+
+    # -- post-run synchronization ----------------------------------------
+
+    def confirm(self, tag: EPC, container: EPC | None) -> None:
+        """Record a full inference run's verdict for ``tag``.
+
+        A confirmed incumbent keeps its run-length track (the track
+        already absorbed this interval's observation); a changed or
+        dropped incumbent resets it.
+        """
+        state = self.states.get(tag)
+        if state is None:
+            self.states[tag] = TagState(incumbent=container, rl=_fresh_rl())
+            return
+        if state.cooloff > 0:
+            state.cooloff -= 1
+        if state.incumbent != container:
+            state.incumbent = container
+            state.rl = _fresh_rl()
+        state.stale = 0
+
+    def evict_stale(self) -> int:
+        """Drop tracks of long-silent tags (bounded-memory support).
+
+        A track at or past ``stale_limit`` is already unprunable, so
+        eviction never changes the next gate decision — the tag simply
+        re-earns its run length after it reappears.
+        """
+        doomed = [
+            tag
+            for tag, state in self.states.items()
+            if state.stale >= self.config.stale_limit
+        ]
+        for tag in doomed:
+            del self.states[tag]
+        return len(doomed)
+
+
+# -- checkpoint codec --------------------------------------------------------
+
+ONLINE_STATE_VERSION = 1
+
+
+def encode_online_state(detector: OnlineChangeDetector) -> bytes:
+    """Serialize the detector's mutable state (config travels separately
+    — it is part of the site's :class:`~repro.core.service.ServiceConfig`)."""
+    writer = ByteWriter()
+    writer.varint(ONLINE_STATE_VERSION)
+    writer.varint(detector.boundaries)
+    writer.varint(len(detector.flagged))
+    for tag in sorted(detector.flagged):
+        write_epc(writer, tag)
+    writer.varint(len(detector.states))
+    for tag in sorted(detector.states):
+        state = detector.states[tag]
+        write_epc(writer, tag)
+        write_opt_epc(writer, state.incumbent)
+        writer.varint(state.cooloff)
+        writer.varint(state.stale)
+        writer.varint(state.rl.size)
+        for value in state.rl.tolist():
+            writer.float64(value)
+    return writer.getvalue()
+
+
+def decode_online_state(data: bytes) -> tuple[int, set[EPC], dict[EPC, TagState]]:
+    """Inverse of :func:`encode_online_state`.
+
+    Returns ``(boundaries, flagged, states)``; malformed input raises
+    :class:`ValueError`.
+    """
+    try:
+        reader = ByteReader(data)
+        version = reader.varint()
+        if version != ONLINE_STATE_VERSION:
+            raise ValueError(f"unsupported online-detector state version {version}")
+        boundaries = reader.varint()
+        flagged = {read_epc(reader) for _ in range(reader.varint())}
+        states: dict[EPC, TagState] = {}
+        for _ in range(reader.varint()):
+            tag = read_epc(reader)
+            incumbent = read_opt_epc(reader)
+            cooloff = reader.varint()
+            stale = reader.varint()
+            size = reader.varint()
+            if size < 1:
+                raise ValueError("run-length posterior must have >= 1 bin")
+            rl = np.array([reader.float64() for _ in range(size)])
+            states[tag] = TagState(
+                incumbent=incumbent, rl=rl, cooloff=cooloff, stale=stale
+            )
+        if not reader.exhausted():
+            raise ValueError("trailing bytes after online-detector state")
+        return boundaries, flagged, states
+    except ValueError:
+        raise
+    except (EOFError, struct.error, IndexError, OverflowError) as exc:
+        raise ValueError(f"malformed online-detector state: {exc}") from exc
+
+
+def restore_online_state(detector: OnlineChangeDetector, data: bytes) -> None:
+    """Load :func:`encode_online_state` output into ``detector``."""
+    detector.boundaries, detector.flagged, detector.states = decode_online_state(data)

@@ -512,6 +512,7 @@ class RFInfer:
         initial_containment: Mapping[EPC, EPC | None] | None = None,
         prior_weights: Mapping[EPC, Mapping[EPC, float]] | None = None,
         object_ranges: Mapping[EPC, EpochRanges] | None = None,
+        pinned: Mapping[EPC, EPC] | None = None,
     ) -> None:
         self.window = window
         self.config = config or InferenceConfig()
@@ -524,6 +525,13 @@ class RFInfer:
             obj: dict(weights) for obj, weights in (prior_weights or {}).items()
         }
         self.object_ranges = dict(object_ranges or {})
+        #: objects whose containment is fixed for this run (the service's
+        #: stability gate). Pinned objects are not scored — no candidate
+        #: selection, M-step, or evidence — but they stay E-step members
+        #: of their pinned container, so every group posterior (and thus
+        #: every other object's inference) is bitwise identical to a run
+        #: that scored them and reached the same assignment.
+        self.pinned = dict(pinned or {})
 
     # -- candidate selection -----------------------------------------------
 
@@ -646,6 +654,7 @@ class RFInfer:
         needed_containers = sorted(
             {c for cands in candidates.values() for c in cands}
             | {c for c in assignment.values() if c is not None}
+            | set(self.pinned.values())
         )
         masks = self._object_masks()
         batch = (
@@ -668,6 +677,8 @@ class RFInfer:
             for obj, container in assignment.items():
                 if container is not None:
                     current_members.setdefault(container, []).append(obj)
+            for obj, container in self.pinned.items():
+                current_members.setdefault(container, []).append(obj)
             for container in needed_containers:
                 group = frozenset(current_members.get(container, ()))
                 if (
@@ -713,10 +724,15 @@ class RFInfer:
         for obj, container in assignment.items():
             if container is not None:
                 final_members.setdefault(container, []).append(obj)
+        for obj, container in self.pinned.items():
+            final_members.setdefault(container, []).append(obj)
+
+        containment = dict(assignment)
+        containment.update(self.pinned)
 
         return RFInferResult(
             window=window,
-            containment=assignment,
+            containment=containment,
             weights=weights,
             candidates=candidates,
             posteriors=posteriors,

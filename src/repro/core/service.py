@@ -25,6 +25,12 @@ from repro.core.changepoint import ChangePoint, ChangePointDetector, calibrate_t
 from repro.core.collapsed import CollapsedState
 from repro.core.events import ObjectEvent
 from repro.core.likelihood import WindowCache
+from repro.core.online import (
+    MemoryBudget,
+    OnlineChangeDetector,
+    OnlineConfig,
+    interval_signals,
+)
 from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
 from repro.core.truncation import CriticalRegion, find_critical_regions
 from repro.sim.tags import EPC, TagKind
@@ -56,6 +62,16 @@ class ServiceConfig:
     #: evidence opt back in.
     retain_evidence: bool = False
     calibration_seed: int = 0
+    #: streaming change detector + stability gate: tags whose run-length
+    #: posterior says "stable" skip the EM/CR/event hot path entirely
+    #: (their containment carries forward). None keeps every tag on the
+    #: full path.
+    online: OnlineConfig | None = None
+    #: hard memory bound for long streams: run records, the event
+    #: backlog, critical regions, window epochs, and cached base rows
+    #: are all truncated to a sliding epoch horizon. None retains
+    #: everything (the historical behavior).
+    budget: MemoryBudget | None = None
 
     def __post_init__(self) -> None:
         if self.run_interval < 1:
@@ -67,6 +83,11 @@ class ServiceConfig:
             )
         if self.truncation not in ("all", "window", "cr"):
             raise ValueError(f"unknown truncation policy {self.truncation!r}")
+        if self.budget is not None and self.budget.horizon < self.recent_history:
+            raise ValueError(
+                "a memory budget must retain at least the recent history, "
+                f"got horizon={self.budget.horizon} < H̄={self.recent_history}"
+            )
 
 
 @dataclass
@@ -80,9 +101,14 @@ class RunRecord:
     window_rows: int
     iterations: int
     result: RFInferResult | None = None
-    #: wall-clock seconds per pipeline phase (window / e_step / m_step /
-    #: evidence / changes / cr / events; the runtime adds queries).
+    #: wall-clock seconds per pipeline phase (detector / window / prune /
+    #: e_step / m_step / evidence / changes / cr / events; the runtime
+    #: adds queries and archive).
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: tags the stability gate let skip full inference this run.
+    pruned_tags: int = 0
+    #: tags that went through the full EM/CR/event path this run.
+    full_tags: int = 0
 
 
 class StreamingInference:
@@ -103,6 +129,11 @@ class StreamingInference:
         self.containment: dict[EPC, EPC | None] = {}
         self.valid_from: dict[EPC, int] = {}
         self.critical_regions: dict[EPC, CriticalRegion] = {}
+        #: critical regions of currently-pruned tags, parked so they do
+        #: not widen windows while the stability gate holds, and
+        #: restored when the tag re-enters full inference (its critical
+        #: epochs rejoin the window it is re-inferred over).
+        self.stashed_regions: dict[EPC, CriticalRegion] = {}
         self.prior_weights: dict[EPC, dict[EPC, float]] = {}
         #: each object's candidate weights from the most recent run that
         #: covered it — the collapsed state exported on migration. Kept
@@ -113,6 +144,10 @@ class StreamingInference:
         self.changes: list[ChangePoint] = []
         self.events: list[ObjectEvent] = []
         self.runs: list[RunRecord] = []
+        #: events/runs dropped off the front by the memory budget —
+        #: consumers hold *absolute* cursors (see :meth:`events_since`).
+        self.events_truncated = 0
+        self.runs_truncated = 0
         #: tags whose containment is only a migrated seed (no local run
         #: has estimated them yet) — excluded from EM initialization.
         self._seeded_only: set[EPC] = set()
@@ -120,10 +155,21 @@ class StreamingInference:
         self.total_inference_seconds = 0.0
         self._threshold = self.config.change_threshold
         self._detector: ChangePointDetector | None = None
+        #: streaming run-length detector behind the stability gate
+        #: (None unless the config opts in).
+        self.online: OnlineChangeDetector | None = (
+            OnlineChangeDetector(self.config.online)
+            if self.config.online is not None
+            else None
+        )
         #: incremental window builder — reuses base-matrix rows shared
         #: with the previous run's window (bitwise-identical to a cold
-        #: build, so checkpoint-restored sites cannot diverge).
-        self._windows = WindowCache(trace)
+        #: build, so checkpoint-restored sites cannot diverge). Under a
+        #: memory budget the retained rows are capped to the horizon.
+        self._windows = WindowCache(
+            trace,
+            max_age=None if self.config.budget is None else self.config.budget.horizon,
+        )
 
     # -- migration hooks (used by repro.distributed) ----------------------
 
@@ -201,21 +247,31 @@ class StreamingInference:
         return self._threshold
 
     def run_until(self, horizon: int) -> None:
-        """Execute all scheduled runs with boundaries ≤ ``horizon``."""
+        """Execute all scheduled runs with boundaries ≤ ``horizon``.
+
+        Under a memory budget each boundary also truncates the
+        retained per-run state (a node-driven service truncates after
+        the archive ingests the boundary instead — the archive is the
+        spill target).
+        """
         boundary = self.last_run_time + self.config.run_interval
         while boundary <= horizon:
             self.run_at(boundary)
+            self.truncate_history()
             boundary = self.last_run_time + self.config.run_interval
 
     def _window_epochs(self, now: int) -> np.ndarray:
         config = self.config
+        floor = 0 if config.budget is None else max(0, now - config.budget.horizon)
         if config.truncation == "all":
-            return np.arange(0, now, dtype=np.int64)
+            return np.arange(floor, now, dtype=np.int64)
         if config.truncation == "window":
-            return np.arange(max(0, now - config.window_size), now, dtype=np.int64)
-        ranges = [(max(0, now - config.recent_history), now)]
+            return np.arange(max(floor, now - config.window_size), now, dtype=np.int64)
+        ranges = [(max(floor, now - config.recent_history), now)]
         ranges.extend(cr.as_range() for cr in self.critical_regions.values())
-        pieces = [np.arange(max(s, 0), min(e, now), dtype=np.int64) for s, e in ranges]
+        pieces = [
+            np.arange(max(s, floor), min(e, now), dtype=np.int64) for s, e in ranges
+        ]
         return np.unique(np.concatenate(pieces)) if pieces else np.empty(0, np.int64)
 
     def _object_ranges(self, obj: EPC, now: int) -> list[tuple[int, int]] | None:
@@ -235,20 +291,65 @@ class StreamingInference:
         """One inference run at stream time ``now``."""
         config = self.config
         started = _time.perf_counter()
-        phases: dict[str, float] = {}
+        # The detector/prune phases are recorded (as exact 0.0) even
+        # with the gate disabled, so phase breakdowns aggregate
+        # uniformly across configs.
+        phases: dict[str, float] = {"detector": 0.0, "prune": 0.0}
+        detector = self.online
+        pruned: set[EPC] = set()
+        if detector is not None:
+            mark = _time.perf_counter()
+            detector.observe(interval_signals(self.trace, self.last_run_time, now))
+            pruned = {
+                tag
+                for tag, container in self.containment.items()
+                if tag.kind is TagKind.ITEM
+                and tag not in self._seeded_only
+                and detector.prunable(tag, container)
+            }
+            # Entering the gate parks a tag's stored critical region: a
+            # full run refreshes stable tags' regions into the recent
+            # history every boundary, so carrying a frozen region here
+            # would widen later windows with stale epochs the full path
+            # never revisits. When the tag re-enters full inference
+            # (flag, refresh, staleness), its parked region is restored
+            # so the run that re-infers it still covers its critical
+            # epochs.
+            for tag in pruned:
+                region = self.critical_regions.pop(tag, None)
+                if region is not None:
+                    self.stashed_regions[tag] = region
+            for tag in [t for t in self.stashed_regions if t not in pruned]:
+                self.critical_regions[tag] = self.stashed_regions.pop(tag)
+            phases["detector"] = _time.perf_counter() - mark
         epochs = self._window_epochs(now)
         if epochs.size == 0:
-            record = RunRecord(now, 0.0, dict(self.containment), [], 0, 0)
+            record = RunRecord(
+                now, 0.0, dict(self.containment), [], 0, 0, phase_seconds=phases
+            )
             self.runs.append(record)
             self.last_run_time = now
             return record
 
+        mark = _time.perf_counter()
         window = self._windows.window(epochs)
         objects = window.tags(TagKind.ITEM)
         containers = window.tags(TagKind.CASE)
+        phases["window"] = _time.perf_counter() - mark
+
+        if detector is not None:
+            mark = _time.perf_counter()
+            pinned = {obj: self.containment[obj] for obj in objects if obj in pruned}
+            full_objects = [obj for obj in objects if obj not in pinned]
+            phases["prune"] = _time.perf_counter() - mark
+        else:
+            pinned = {}
+            full_objects = objects
+
+        mark = _time.perf_counter()
         object_ranges = {
             obj: ranges
-            for obj in objects
+            for obj in full_objects
             if (ranges := self._object_ranges(obj, now)) is not None
         }
         initial = {
@@ -259,13 +360,14 @@ class StreamingInference:
         engine = RFInfer(
             window,
             config.inference,
-            objects=objects,
+            objects=full_objects,
             containers=containers,
             initial_containment=initial,
             prior_weights=self.prior_weights,
             object_ranges=object_ranges,
+            pinned=pinned,
         )
-        phases["window"] = _time.perf_counter() - started
+        phases["window"] += _time.perf_counter() - mark
         result = engine.run()
         phases.update(result.timings)
         self._seeded_only.difference_update(result.containment)
@@ -277,7 +379,7 @@ class StreamingInference:
         if config.change_detection and config.inference.keep_evidence:
             if self._detector is None or self._detector.threshold != self.threshold:
                 self._detector = ChangePointDetector(self.threshold)
-            for obj in objects:
+            for obj in full_objects:
                 change = self._detector.detect(
                     result, obj, floor=self.valid_from.get(obj)
                 )
@@ -290,12 +392,18 @@ class StreamingInference:
 
         self.containment.update(result.containment)
 
+        if detector is not None:
+            mark = _time.perf_counter()
+            for obj in full_objects:
+                detector.confirm(obj, result.containment.get(obj))
+            phases["detector"] += _time.perf_counter() - mark
+
         mark = _time.perf_counter()
         if config.truncation == "cr" and config.inference.keep_evidence:
             self.critical_regions.update(
                 find_critical_regions(
                     result,
-                    objects,
+                    full_objects,
                     width=config.cr_width,
                     margin_threshold=config.cr_margin,
                 )
@@ -329,10 +437,61 @@ class StreamingInference:
             iterations=result.iterations,
             result=result if config.keep_results else None,
             phase_seconds=phases,
+            pruned_tags=len(pinned),
+            full_tags=len(full_objects),
         )
         self.runs.append(record)
         self.last_run_time = now
         return record
+
+    # -- bounded-memory long streams ------------------------------------
+
+    def events_since(self, cursor: int) -> tuple[list[ObjectEvent], int]:
+        """Events a consumer holding absolute position ``cursor`` has
+        not seen, plus its new absolute position.
+
+        Consumers (query feeds, the archive) track *absolute* event
+        counts, so the memory budget can drop consumed events off the
+        front of ``self.events`` without corrupting anyone's cursor.
+        """
+        start = max(cursor - self.events_truncated, 0)
+        fresh = self.events[start:]
+        return fresh, self.events_truncated + len(self.events)
+
+    def truncate_history(self) -> None:
+        """Enforce the memory budget on all retained per-run state.
+
+        Drops run records and events whose time fell behind the sliding
+        horizon (and, optionally, run records beyond ``retained_runs``),
+        plus critical regions that ended before it and detector tracks
+        of long-silent tags. A no-op without a configured budget. Call
+        *after* the boundary's consumers (queries, archive) have
+        ingested — the archive is the spill target for history.
+        """
+        budget = self.config.budget
+        if budget is None:
+            return
+        cut = self.last_run_time - budget.horizon
+        keep = 0
+        while keep < len(self.runs) and self.runs[keep].time < cut:
+            keep += 1
+        if budget.retained_runs is not None:
+            keep = max(keep, len(self.runs) - budget.retained_runs)
+        if keep > 0:
+            self.runs_truncated += keep
+            del self.runs[:keep]
+        keep = 0
+        while keep < len(self.events) and self.events[keep].time < cut:
+            keep += 1
+        if keep > 0:
+            self.events_truncated += keep
+            del self.events[:keep]
+        for tag in [t for t, r in self.critical_regions.items() if r.end <= cut]:
+            del self.critical_regions[tag]
+        for tag in [t for t, r in self.stashed_regions.items() if r.end <= cut]:
+            del self.stashed_regions[tag]
+        if self.online is not None:
+            self.online.evict_stale()
 
     # -- event stream --------------------------------------------------------
 

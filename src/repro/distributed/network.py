@@ -89,6 +89,11 @@ class Network:
     edge_late_dropped: int = 0
     edge_window_reruns: int = 0
     edge_duplicate_batches: int = 0
+    #: online stability-gate gauges, per site: cumulative tags that
+    #: skipped the EM hot path vs tags that ran full inference. Outside
+    #: the byte kinds, so Table 5's accounting is untouched.
+    pruned_tags: Counter = field(default_factory=Counter)
+    full_inference_tags: Counter = field(default_factory=Counter)
 
     def send(self, src: int, dst: int, kind: str, payload: bytes) -> bytes:
         """Deliver ``payload`` and account for its size."""
@@ -171,6 +176,18 @@ class Network:
 
     def note_edge_duplicate(self, n: int = 1) -> None:
         self.edge_duplicate_batches += n
+
+    def note_pruning(self, site: int, pruned: int, full: int) -> None:
+        """Record one boundary's stability-gate split for ``site``."""
+        self.pruned_tags[site] += pruned
+        self.full_inference_tags[site] += full
+
+    def pruning_gauges(self) -> dict[str, dict[int, int]]:
+        """Per-site skip-rate gauges of the online stability gate."""
+        return {
+            "pruned_tags": dict(self.pruned_tags),
+            "full_inference_tags": dict(self.full_inference_tags),
+        }
 
     def edge_gauges(self) -> dict[str, int]:
         """The edge plane's degradation gauges, for reports and benches."""

@@ -5,7 +5,8 @@ needs to resume *exactly* where it was at an interval boundary:
 
 * **inference state** — containment estimates, change floors, migrated
   priors, each object's latest run weights, seeded-only marks, critical
-  regions, detected change points, and the calibrated change threshold;
+  regions, detected change points, the calibrated change threshold,
+  and (v3) the online detector's run-length posteriors and flags;
 * **query state** — one blob per registered query via the
   :class:`~repro.queries.protocol.QueryState` protocol's
   ``snapshot_state`` hook. Compiled plans serialize themselves
@@ -39,6 +40,7 @@ from typing import TYPE_CHECKING
 
 from repro._util.encoding import ByteReader, ByteWriter
 from repro.core.changepoint import ChangePoint
+from repro.core.online import encode_online_state, restore_online_state
 from repro.core.truncation import CriticalRegion
 from repro.runtime.envelope import MigrationEvent
 from repro.sim.tags import EPC, read_epc, read_opt_epc, write_epc, write_opt_epc
@@ -53,7 +55,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
 ]
 
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 
 def peek_checkpoint_site(data: bytes) -> int:
@@ -127,6 +129,15 @@ def encode_site_checkpoint(node: "SiteNode") -> bytes:
         region = service.critical_regions[tag]
         writer.varint(region.start)
         writer.varint(region.end)
+    # Regions parked by the stability gate (v3): restored alongside the
+    # live ones so a recovered site re-infers re-entering tags over the
+    # same critical epochs as the run that never crashed.
+    writer.varint(len(service.stashed_regions))
+    for tag in sorted(service.stashed_regions):
+        write_epc(writer, tag)
+        region = service.stashed_regions[tag]
+        writer.varint(region.start)
+        writer.varint(region.end)
     writer.varint(len(service.changes))
     for change in service.changes:
         write_epc(writer, change.tag)
@@ -134,6 +145,11 @@ def encode_site_checkpoint(node: "SiteNode") -> bytes:
         write_opt_epc(writer, change.old_container)
         write_opt_epc(writer, change.new_container)
         writer.float64(change.score)
+    # Online-detector state (v3): run-length posteriors, cooloffs, and
+    # the flagged set must survive a crash bit-for-bit, or the recovered
+    # site's stability gate would make different skip decisions than
+    # the run that never crashed. Empty when the gate is off.
+    writer.blob(b"" if service.online is None else encode_online_state(service.online))
     # Node-level cursors.
     writer.varint(len(node.seen))
     for tag in sorted(node.seen):
@@ -214,6 +230,10 @@ def _restore(node: "SiteNode", reader: ByteReader) -> None:
         read_epc(reader): CriticalRegion(reader.varint(), reader.varint())
         for _ in range(reader.varint())
     }
+    service.stashed_regions = {
+        read_epc(reader): CriticalRegion(reader.varint(), reader.varint())
+        for _ in range(reader.varint())
+    }
     changes = []
     for _ in range(reader.varint()):
         changes.append(
@@ -226,6 +246,14 @@ def _restore(node: "SiteNode", reader: ByteReader) -> None:
             )
         )
     service.changes = changes
+    online_blob = reader.blob()
+    if online_blob:
+        if service.online is None:
+            raise ValueError(
+                "checkpoint carries online-detector state but the site's "
+                "service config has no online gate"
+            )
+        restore_online_state(service.online, online_blob)
     node.seen = {read_epc(reader) for _ in range(reader.varint())}
     node._sensor_pos = reader.varint()
     node.duplicates_dropped = reader.varint()

@@ -266,14 +266,23 @@ class SiteNode:
 
     def advance_to(self, boundary: int) -> None:
         """One inference tick: run RFINFER, feed new tuples to queries,
-        then append the boundary's output to the historical archive."""
+        then append the boundary's output to the historical archive.
+
+        Under a memory budget the boundary ends by truncating the
+        service's retained per-run state — after the archive (the spill
+        target) has ingested it."""
         record = self.service.run_at(boundary)
+        if self.service.online is not None and self._transport is not None:
+            self._transport.ledger.note_pruning(
+                self.site, record.pruned_tags, record.full_tags
+            )
         started = time.perf_counter()
         self._feed_queries(boundary)
         record.phase_seconds["queries"] = time.perf_counter() - started
         started = time.perf_counter()
         self._feed_archive()
         record.phase_seconds["archive"] = time.perf_counter() - started
+        self.service.truncate_history()
 
     def _feed_archive(self) -> None:
         """Capture this boundary's inference output and fresh alerts.
@@ -290,8 +299,7 @@ class SiteNode:
                 self.archive.ingest_alerts(name, alerts)
 
     def _feed_queries(self, boundary: int) -> None:
-        events = self.service.events[self._event_pos :]
-        self._event_pos = len(self.service.events)
+        events, self._event_pos = self.service.events_since(self._event_pos)
         hi = self._sensor_pos
         while hi < len(self._sensors) and self._sensors[hi].time < boundary:
             hi += 1

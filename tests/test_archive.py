@@ -188,6 +188,9 @@ class TestArchiveStore:
             containment = {lonely: None, item: case}
             last_weights = {lonely: {}, item: {case: -0.5}}
 
+            def events_since(self, cursor):
+                return [], cursor
+
         archive.ingest_service(Stub())
         assert archive.last_boundary == 300
         # The tag with real candidates still logged a belief row.

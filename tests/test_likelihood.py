@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.likelihood import TraceWindow, row_softmax
+from repro.core.likelihood import TraceWindow, WindowCache, row_softmax
 from repro.sim.tags import EPC, TagKind
 
 
@@ -91,6 +91,43 @@ class TestTraceWindow:
     def test_requires_at_least_one_epoch(self, small_chain):
         with pytest.raises(ValueError):
             TraceWindow(small_chain.trace, [])
+
+
+class TestWindowCacheEviction:
+    """The ``max_age`` cap: bounded retention, bitwise-pure results."""
+
+    INTERVAL = 60
+    MAX_AGE = 120
+
+    def _stream(self, trace, max_age):
+        """Grow-forever windows (the "all" policy), streamed 10x past
+        the cap, returning the built windows."""
+        cache = WindowCache(trace, max_age=max_age)
+        windows = []
+        for now in range(self.INTERVAL, 10 * self.MAX_AGE + 1, self.INTERVAL):
+            windows.append(cache.window(np.arange(0, now, dtype=np.int64)))
+        return cache, windows
+
+    def test_rejects_bad_max_age(self, small_chain):
+        with pytest.raises(ValueError):
+            WindowCache(small_chain.trace, max_age=0)
+
+    def test_retained_rows_stay_bounded(self, small_chain):
+        cache, _ = self._stream(small_chain.trace, self.MAX_AGE)
+        assert cache.rows_evicted > 0
+        assert cache.cached_rows() <= self.MAX_AGE
+
+    def test_eviction_is_bitwise_pure(self, small_chain):
+        capped, capped_windows = self._stream(small_chain.trace, self.MAX_AGE)
+        uncapped, free_windows = self._stream(small_chain.trace, None)
+        assert uncapped.rows_evicted == 0
+        assert uncapped.cached_rows() == 10 * self.MAX_AGE
+        for got, want in zip(capped_windows, free_windows):
+            np.testing.assert_array_equal(got.epochs, want.epochs)
+            np.testing.assert_array_equal(got.base, want.base)
+        # The cap can only lower the hit rate, never change a window.
+        assert capped.rows_reused <= uncapped.rows_reused
+        assert capped.rows_reused > 0
 
 
 class TestRowSoftmax:

@@ -1,0 +1,185 @@
+"""Online-vs-retrospective equivalence, within documented tolerance.
+
+The stability gate is *not* byte-equivalent to the ungated service on
+every tag, and cannot be: the retrospective baseline itself flips
+near-tied co-located tags between runs (co-located containers co-read
+near-equally, so interval evidence cannot discriminate them — that is
+EM's job, and EM resolves ties differently as windows slide). The
+tolerance this suite pins down, on every scenario x truncation combo:
+
+* **change sets are exactly equal** — the GLR detector runs on full
+  evidence either way;
+* **containment diffs are confined to the tolerance set** — tags the
+  baseline itself flipped mid-stream, plus tags the gate flagged;
+* **events restricted to tags outside the tolerance set are
+  identical** (ordering included);
+* **accuracy vs ground truth is never worse** gated — hysteresis pins
+  tags through the baseline's tie-break churn;
+* the gate actually prunes (it is not vacuously equivalent).
+
+When the gate has nothing to prune (care facility: every resident is a
+CASE tag, the gate only prunes ITEMs) the runs must be fully
+identical. And a gated run must satisfy the chaos invariant: faults
+plus crash/recovery (checkpoint v3 carries detector state and stashed
+regions) may change ledger overhead, never results.
+
+Set ``CHAOS_SEED`` (CI matrix) to verify one extra fault-plan seed.
+"""
+
+import os
+from dataclasses import replace
+from functools import lru_cache
+
+import pytest
+
+from chaos import (
+    CHAOS_CONFIG,
+    assert_chaos_invariant,
+    chaos_scenario,
+    chaos_transport,
+    run_chaos,
+)
+from repro.core.online import MemoryBudget, OnlineConfig
+from repro.core.service import ServiceConfig, StreamingInference
+from repro.sim.tags import TagKind
+from repro.workloads.scenarios import care_facility_scenario, cold_chain_scenario
+
+HORIZON = 1500
+COMBOS = [(seed, trunc) for seed in (7, 101) for trunc in ("window", "cr")]
+
+CHAOS_SEEDS = (
+    [int(os.environ["CHAOS_SEED"])] if os.environ.get("CHAOS_SEED") else [101]
+)
+
+
+def _config(truncation: str, gated: bool) -> ServiceConfig:
+    config = ServiceConfig(
+        run_interval=300,
+        recent_history=600,
+        truncation=truncation,
+        emit_events=True,
+        event_period=5,
+        change_detection=True,
+        change_threshold=80.0,
+    )
+    return replace(config, online=OnlineConfig()) if gated else config
+
+
+@lru_cache(maxsize=None)
+def _cold_chain(seed: int):
+    return cold_chain_scenario(seed=seed, n_sites=1, horizon=HORIZON)
+
+
+@lru_cache(maxsize=None)
+def _pair(seed: int, truncation: str):
+    """Run baseline and gated services in lockstep over one scenario.
+
+    Returns ``(scenario, baseline, gated, tolerance)`` where the
+    tolerance set is (tags the baseline flipped between runs) union
+    (tags the gate flagged).
+    """
+    scenario = _cold_chain(seed)
+    baseline = StreamingInference(scenario.trace, _config(truncation, gated=False))
+    gated = StreamingInference(scenario.trace, _config(truncation, gated=True))
+    flipped: set = set()
+    previous = None
+    now = baseline.config.run_interval
+    while now <= HORIZON:
+        baseline.run_at(now)
+        gated.run_at(now)
+        if previous is not None:
+            flipped |= {
+                tag
+                for tag, container in baseline.containment.items()
+                if tag in previous and previous[tag] != container
+            }
+        previous = dict(baseline.containment)
+        now += baseline.config.run_interval
+    return scenario, baseline, gated, flipped | gated.online.flagged
+
+
+def _accuracy(containment, truth) -> tuple[int, int]:
+    items = [(t, c) for t, c in containment.items() if t.kind is TagKind.ITEM]
+    return (
+        sum(c == truth.container_at(t, HORIZON - 1) for t, c in items),
+        len(items),
+    )
+
+
+@pytest.mark.parametrize("seed,truncation", COMBOS)
+class TestToleranceEnvelope:
+    def test_change_sets_identical(self, seed, truncation):
+        _, baseline, gated, _ = _pair(seed, truncation)
+        assert {(c.tag, c.new_container) for c in gated.changes} == {
+            (c.tag, c.new_container) for c in baseline.changes
+        }
+
+    def test_containment_diffs_within_tolerance(self, seed, truncation):
+        _, baseline, gated, tolerance = _pair(seed, truncation)
+        diffs = {
+            tag
+            for tag, container in baseline.containment.items()
+            if gated.containment.get(tag) != container
+        }
+        assert diffs <= tolerance
+        # The gate must not invent assignments the baseline never made.
+        assert set(gated.containment) == set(baseline.containment)
+
+    def test_events_identical_outside_tolerance(self, seed, truncation):
+        _, baseline, gated, tolerance = _pair(seed, truncation)
+        assert [e for e in gated.events if e.tag not in tolerance] == [
+            e for e in baseline.events if e.tag not in tolerance
+        ]
+
+    def test_accuracy_never_worse(self, seed, truncation):
+        scenario, baseline, gated, _ = _pair(seed, truncation)
+        base_hits, total = _accuracy(baseline.containment, scenario.truth)
+        gate_hits, gate_total = _accuracy(gated.containment, scenario.truth)
+        assert gate_total == total
+        assert gate_hits >= base_hits
+
+    def test_gate_prunes_meaningfully(self, seed, truncation):
+        _, _, gated, _ = _pair(seed, truncation)
+        pruned = sum(r.pruned_tags for r in gated.runs)
+        full = sum(r.full_tags for r in gated.runs)
+        assert pruned > 0.25 * (pruned + full)
+
+
+class TestVacuousGate:
+    """No ITEM tags -> nothing prunable -> byte-identical runs."""
+
+    @pytest.mark.parametrize("truncation", ["window", "cr"])
+    def test_care_facility_identical(self, truncation):
+        scenario = care_facility_scenario(seed=7)
+        trace = scenario.traces[0]
+        baseline = StreamingInference(trace, _config(truncation, gated=False))
+        gated = StreamingInference(trace, _config(truncation, gated=True))
+        now = baseline.config.run_interval
+        while now <= scenario.horizon:
+            baseline.run_at(now)
+            gated.run_at(now)
+            now += baseline.config.run_interval
+        assert sum(r.pruned_tags for r in gated.runs) == 0
+        assert gated.containment == baseline.containment
+        assert gated.events == baseline.events
+        assert gated.changes == baseline.changes
+        assert not gated.online.flagged
+
+
+class TestGatedChaos:
+    """Faults never change gated results — only ledger overhead."""
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_chaos_invariant_with_gate(self, seed):
+        scenario = chaos_scenario()
+        config = replace(
+            CHAOS_CONFIG, online=OnlineConfig(), budget=MemoryBudget(horizon=1200)
+        )
+        baseline = run_chaos(scenario, config=config)
+        chaotic = run_chaos(
+            scenario,
+            config=config,
+            transport=chaos_transport(seed),
+            crash=(1, 950, 1050),
+        )
+        assert_chaos_invariant(baseline, chaotic)
