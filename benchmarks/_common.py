@@ -160,6 +160,12 @@ def bench_cli(
     artifact, and runs ``check(payload, baseline_path, budget)`` —
     printing each failure to stderr and returning a non-zero exit code
     on regression, exactly as CI expects.
+
+    ``--trace`` runs the whole bench under an installed telemetry
+    session and writes the flight-recorder/metrics JSONL next to the
+    bench JSON (``<output>.telemetry.jsonl``), so a perf regression
+    report comes with its own per-plane cost breakdown
+    (``python -m repro.obs.summary <dump>``).
     """
     parser = argparse.ArgumentParser(description=doc)
     parser.add_argument("--smoke", action="store_true", help="reduced sweep for CI")
@@ -168,13 +174,34 @@ def bench_cli(
     else:
         parser.add_argument("--output", default=default_output)
     parser.add_argument("--baseline", help="baseline JSON to gate against")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="run traced; write telemetry JSONL next to the bench JSON",
+    )
     budget_dest = budget_flag.lstrip("-").replace("-", "_")
     parser.add_argument(budget_flag, type=float, default=budget_default, help=budget_help)
     args = parser.parse_args(argv)
-    payload = build_payload(args.smoke)
+    trace_path = None
+    if args.trace:
+        from repro.obs import Telemetry, install, uninstall, write_jsonl
+
+        base = args.output or "bench"
+        trace_path = os.path.splitext(base)[0] + ".telemetry.jsonl"
+        tel = install(Telemetry(capacity=65536))
+        try:
+            payload = build_payload(args.smoke)
+        finally:
+            write_jsonl(trace_path, tel, reason="bench")
+            uninstall()
+    else:
+        payload = build_payload(args.smoke)
     # Benches that ran real workers record their own richer entry; the
     # default records at least the core count and a single worker.
     payload.setdefault("machine", machine_info())
+    if trace_path is not None:
+        payload["telemetry_jsonl"] = trace_path
+        print(f"wrote {trace_path}")
     if args.output:
         write_json(args.output, payload)
         print(f"wrote {args.output}")

@@ -33,6 +33,7 @@ from repro.core.online import (
 )
 from repro.core.rfinfer import InferenceConfig, RFInfer, RFInferResult
 from repro.core.truncation import CriticalRegion, find_critical_regions
+from repro.obs import get_telemetry
 from repro.sim.tags import EPC, TagKind
 from repro.sim.trace import Trace
 
@@ -329,6 +330,7 @@ class StreamingInference:
             )
             self.runs.append(record)
             self.last_run_time = now
+            self._emit_run_telemetry(record)
             return record
 
         mark = _time.perf_counter()
@@ -442,7 +444,41 @@ class StreamingInference:
         )
         self.runs.append(record)
         self.last_run_time = now
+        self._emit_run_telemetry(record)
         return record
+
+    def _emit_run_telemetry(self, record: RunRecord) -> None:
+        """Telemetry-only view of a finished run: one ``inference/run``
+        span with the service's already-measured phase breakdown as
+        child spans. Reads the record, never the inference state, so a
+        traced run computes exactly what an untraced one does."""
+        tel = get_telemetry()
+        if not tel.enabled:
+            return
+        parent = tel.tracer.emit(
+            "inference",
+            "run",
+            record.duration_seconds,
+            site=self.site,
+            boundary=record.time,
+            window_rows=record.window_rows,
+            iterations=record.iterations,
+            pruned=record.pruned_tags,
+            full=record.full_tags,
+        )
+        for phase, seconds in record.phase_seconds.items():
+            tel.tracer.emit(
+                "inference",
+                f"phase.{phase}",
+                seconds,
+                parent_id=parent,
+                site=self.site,
+                boundary=record.time,
+            )
+        tel.registry.counter("inference_runs", site=self.site).inc()
+        tel.registry.histogram("inference_run_seconds", site=self.site).observe(
+            record.duration_seconds
+        )
 
     # -- bounded-memory long streams ------------------------------------
 

@@ -13,13 +13,23 @@ at-least-once layer accounts retransmitted payload bytes under the
 ``retransmit`` kind and acknowledgement frames under ``ack``, so a run
 over a lossy transport reports byte-identical *data* totals to the
 fault-free run plus an explicit fault-overhead column (Table 5d).
+
+The ad-hoc gauges that grew around the byte kinds (query-plan sharing,
+shard/worker load, serving retransmits, edge degradation, stability-gate
+pruning) now live on an always-on :class:`~repro.obs.MetricsRegistry`
+behind compat properties, so they share one encoding/merge protocol with
+the rest of the telemetry layer. The byte kinds themselves stay native
+``Counter`` objects: ``send()`` is the hot path, and keeping it
+unchanged is what keeps Table 5 accounting byte-identical by
+construction.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
 from typing import NamedTuple
+
+from repro.obs.registry import MetricsRegistry
 
 __all__ = [
     "Message",
@@ -52,48 +62,94 @@ class Message(NamedTuple):
     payload: bytes
 
 
-@dataclass
+def _registry_counter_property(metric: str, doc: str):
+    """A compat property backed by a registry counter: reads return the
+    counter's value, writes overwrite it (legacy ``+=`` sites compile to
+    read-then-write, which lands on the same series)."""
+
+    def _get(self: "Network") -> int:
+        return self.registry.counter(metric).value
+
+    def _set(self: "Network", value: int) -> None:
+        self.registry.counter(metric).set(value)
+
+    return property(_get, _set, doc=doc)
+
+
 class Network:
     """Reliable in-order delivery with cost accounting."""
 
-    bytes_by_kind: Counter = field(default_factory=Counter)
-    messages_by_kind: Counter = field(default_factory=Counter)
-    #: per-link counters keyed by the ``(src, dst)`` pair.
-    bytes_by_link: Counter = field(default_factory=Counter)
-    messages_by_link: Counter = field(default_factory=Counter)
-    log: list[Message] = field(default_factory=list)
-    keep_log: bool = False
+    def __init__(self, keep_log: bool = False):
+        self.bytes_by_kind: Counter = Counter()
+        self.messages_by_kind: Counter = Counter()
+        #: per-link counters keyed by the ``(src, dst)`` pair.
+        self.bytes_by_link: Counter = Counter()
+        self.messages_by_link: Counter = Counter()
+        self.log: list[Message] = []
+        self.keep_log = keep_log
+        #: the ledger's own always-on metrics registry — every gauge
+        #: below is a view onto a series here. Kept outside the byte
+        #: kinds so Table 5's accounting is untouched.
+        self.registry = MetricsRegistry()
+        #: shard/worker load gauges (process-parallel transports):
+        #: current site count per worker and cumulative envelope bytes
+        #: delivered into / originated out of each worker's shard.
+        self.shard_sites: dict = {}
+        self.shard_bytes_in: Counter = Counter()
+        self.shard_bytes_out: Counter = Counter()
+
+    # -- registry-backed gauges (compat properties) ---------------------------
     #: query-plan operator gauges (multi-query optimization): operator
     #: instances actually built across all sites' engines, and
     #: registrations served by an operator another query already built.
-    #: Kept outside the byte kinds so Table 5's accounting is untouched.
-    plan_operators_built: int = 0
-    plan_operators_shared: int = 0
-    #: shard/worker load gauges (process-parallel transports): current
-    #: site count per worker, cumulative envelope bytes delivered into /
-    #: originated out of each worker's shard, and how many times the
-    #: rebalancer moved a site. Like the plan gauges these live outside
-    #: the byte kinds, so Table 5's accounting is untouched.
-    shard_sites: dict = field(default_factory=dict)
-    shard_bytes_in: Counter = field(default_factory=Counter)
-    shard_bytes_out: Counter = field(default_factory=Counter)
-    rebalances: int = 0
+    plan_operators_built = _registry_counter_property(
+        "plan_operators_built", "operator instances built across all sites"
+    )
+    plan_operators_shared = _registry_counter_property(
+        "plan_operators_shared", "operator registrations served by sharing"
+    )
+    rebalances = _registry_counter_property(
+        "rebalances", "times the shard rebalancer moved a site"
+    )
     #: serving-frontend gauge: history-request retransmissions issued by
-    #: the gather loop (capped-backoff schedule). Outside the byte kinds.
-    frontend_retransmits: int = 0
+    #: the gather loop (capped-backoff schedule).
+    frontend_retransmits = _registry_counter_property(
+        "frontend_retransmits", "history-request retransmissions"
+    )
     #: edge-ingestion gauges (the readings → edge → gateway hop): batch
     #: payloads that arrived for an already-sealed epoch window, how many
     #: of those were dropped vs merged by a bounded window re-run, and
     #: duplicate batches the gateway's sequence window absorbed.
-    edge_late_readings: int = 0
-    edge_late_dropped: int = 0
-    edge_window_reruns: int = 0
-    edge_duplicate_batches: int = 0
-    #: online stability-gate gauges, per site: cumulative tags that
-    #: skipped the EM hot path vs tags that ran full inference. Outside
-    #: the byte kinds, so Table 5's accounting is untouched.
-    pruned_tags: Counter = field(default_factory=Counter)
-    full_inference_tags: Counter = field(default_factory=Counter)
+    edge_late_readings = _registry_counter_property(
+        "edge_late_readings", "readings that arrived after their window sealed"
+    )
+    edge_late_dropped = _registry_counter_property(
+        "edge_late_dropped", "late readings dropped by the drop policy"
+    )
+    edge_window_reruns = _registry_counter_property(
+        "edge_window_reruns", "sealed windows re-run to merge late readings"
+    )
+    edge_duplicate_batches = _registry_counter_property(
+        "edge_duplicate_batches", "duplicate batches the dedup window absorbed"
+    )
+
+    @property
+    def pruned_tags(self) -> Counter:
+        """Per-site cumulative tags the stability gate skipped (view onto
+        the registry's site-labeled ``pruned_tags`` series)."""
+        return self._site_counter("pruned_tags")
+
+    @property
+    def full_inference_tags(self) -> Counter:
+        """Per-site cumulative tags that ran full inference."""
+        return self._site_counter("full_inference_tags")
+
+    def _site_counter(self, metric: str) -> Counter:
+        out: Counter = Counter()
+        for series in self.registry.counters():
+            if series.name == metric:
+                out[int(dict(series.labels)["site"])] = series.value
+        return out
 
     def send(self, src: int, dst: int, kind: str, payload: bytes) -> bytes:
         """Deliver ``payload`` and account for its size."""
@@ -160,27 +216,27 @@ class Network:
         self.shard_bytes_out[worker] += out_bytes
 
     def note_rebalance(self) -> None:
-        self.rebalances += 1
+        self.registry.counter("rebalances").inc()
 
     # -- serving / edge gauges -------------------------------------------------
 
     def note_frontend_retransmits(self, n: int = 1) -> None:
-        self.frontend_retransmits += n
+        self.registry.counter("frontend_retransmits").inc(n)
 
     def note_edge_late(self, n: int = 1, dropped: int = 0) -> None:
-        self.edge_late_readings += n
-        self.edge_late_dropped += dropped
+        self.registry.counter("edge_late_readings").inc(n)
+        self.registry.counter("edge_late_dropped").inc(dropped)
 
     def note_edge_rerun(self, n: int = 1) -> None:
-        self.edge_window_reruns += n
+        self.registry.counter("edge_window_reruns").inc(n)
 
     def note_edge_duplicate(self, n: int = 1) -> None:
-        self.edge_duplicate_batches += n
+        self.registry.counter("edge_duplicate_batches").inc(n)
 
     def note_pruning(self, site: int, pruned: int, full: int) -> None:
         """Record one boundary's stability-gate split for ``site``."""
-        self.pruned_tags[site] += pruned
-        self.full_inference_tags[site] += full
+        self.registry.counter("pruned_tags", site=site).inc(pruned)
+        self.registry.counter("full_inference_tags", site=site).inc(full)
 
     def pruning_gauges(self) -> dict[str, dict[int, int]]:
         """Per-site skip-rate gauges of the online stability gate."""

@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.distributed.network import Network
 from repro.edge.node import GATEWAY_SITE
+from repro.obs import get_telemetry
 from repro.edge.wire import EDGE_ACK, EDGE_BATCH, EdgeBatch, decode_edge_batch
 from repro.runtime.envelope import Envelope, encode_ack
 from repro.runtime.transport import Transport
@@ -187,6 +188,12 @@ class IngestGateway:
         link.expected = batch.seq + 1
         link.upto = max(link.upto, batch.upto)
         self.stats.batches_applied += 1
+        tel = get_telemetry()
+        if tel.enabled and not self._replaying:
+            tel.registry.counter("gateway_batches", edge=batch.edge_id).inc()
+            tel.registry.counter("gateway_readings", edge=batch.edge_id).inc(
+                len(batch.readings)
+            )
         if not 0 <= batch.site < self.n_sites:
             self.stats.malformed_batches += 1
             return
@@ -260,13 +267,18 @@ class IngestGateway:
                 return
 
     def _seal(self, boundary: int) -> None:
-        self._append_wal(_REC_SEAL, struct.pack("<q", boundary))
-        for site in range(self.n_sites):
-            staged = self._staged[site]
-            window = {r for r in staged if r.time < boundary}
-            self._sealed[site][boundary] = window
-            staged.difference_update(window)
-        self.sealed_boundary = boundary
+        tel = get_telemetry()
+        with tel.span("edge", "gateway.seal", boundary=boundary) as span:
+            self._append_wal(_REC_SEAL, struct.pack("<q", boundary))
+            sealed_readings = 0
+            for site in range(self.n_sites):
+                staged = self._staged[site]
+                window = {r for r in staged if r.time < boundary}
+                self._sealed[site][boundary] = window
+                staged.difference_update(window)
+                sealed_readings += len(window)
+            span.set(readings=sealed_readings, replaying=self._replaying)
+            self.sealed_boundary = boundary
 
     # -- the write-ahead log ----------------------------------------------------
 
@@ -312,6 +324,9 @@ class IngestGateway:
         late-arrival policy, and window contents are reproduced exactly;
         acks, WAL appends, and ledger gauges are suppressed while
         replaying (they already happened)."""
+        get_telemetry().record_state(
+            "edge", "gateway.restart", sealed_boundary=self.sealed_boundary
+        )
         self.stats.restarts += 1
         known_edges = set(self._edges)
         self._wal.close()

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro._util.rng import spawn_rng
 from repro.edge.spool import BatchSpool
+from repro.obs import get_telemetry
 from repro.edge.wire import EDGE_ACK, EDGE_BATCH, EdgeBatch, encode_edge_batch
 from repro.runtime.envelope import Envelope, decode_ack
 from repro.runtime.transport import Transport
@@ -201,9 +202,15 @@ class EdgeNode:
             payload = self._unacked[seq]
             if payload is None:
                 payload = self.spool.load(seq)
-            transport.send(
-                Envelope(self.site_id, self.gateway, EDGE_BATCH, payload, seq=seq)
-            )
+            tel = get_telemetry()
+            with tel.span(
+                "edge", "batch.send",
+                edge=self.edge_id, site=self.site, seq=seq,
+                attempt=attempts, payload_bytes=len(payload),
+            ):
+                transport.send(
+                    Envelope(self.site_id, self.gateway, EDGE_BATCH, payload, seq=seq)
+                )
             self.stats.sends += 1
             if attempts:
                 self.stats.retransmits += 1
@@ -251,6 +258,9 @@ class EdgeNode:
 
     def crash(self) -> None:
         """Lose all volatile state and replay the persisted queue."""
+        get_telemetry().record_state(
+            "edge", "node.crash", edge=self.edge_id, site=self.site
+        )
         self.stats.restarts += 1
         self._reset_volatile()
         self._restore_from_spool()

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.distributed.network import Network
 from repro.edge.gateway import GATEWAY_SITE, IngestGateway
+from repro.obs import get_telemetry
 from repro.edge.node import EdgeNode
 from repro.runtime.faults import FaultPlan, FaultyTransport
 from repro.runtime.transport import InProcessTransport, Transport
@@ -143,6 +144,7 @@ def run_ingest(
     recovery_rounds: int | None = None
     recovery_start: int | None = None
 
+    tel = get_telemetry()
     wall = 0
     rounds = 0
     while True:
@@ -153,13 +155,14 @@ def run_ingest(
                 f"(watermark {gateway.watermark()}, horizon {horizon})"
             )
         wall = min(wall + pump_epochs, horizon)
-        for feed, edge in zip(feeds, edges):
-            for line in feed.emit_until(wall):
-                edge.ingest_line(line)
-        for edge in edges:
-            edge.pump()
-        transport.flush()
-        gateway.advance(wall)
+        with tel.span("edge", "pump_round", round=rounds, wall=wall):
+            for feed, edge in zip(feeds, edges):
+                for line in feed.emit_until(wall):
+                    edge.ingest_line(line)
+            for edge in edges:
+                edge.pump()
+            transport.flush()
+            gateway.advance(wall)
         # Crash schedules fire after the round's pump: an edge's parsed
         # readings are always in a spooled batch by then, so a restart
         # loses no data — only volatile timers and dedup state.

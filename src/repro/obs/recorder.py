@@ -1,0 +1,73 @@
+"""Flight recorder: a bounded ring buffer of recent spans and state
+transitions, dumpable to JSONL.
+
+The recorder is the black box for chaos debugging: every finished span
+and every recorded state transition lands here, the oldest entries fall
+off the back (``deque(maxlen=...)``), and on a chaos assertion failure,
+a ``WorkerDied``, or an explicit ``dump()`` the surviving window is
+written out as one JSON object per line. Entries are plain dicts so
+they pickle cheaply across the ``ProcessTransport`` pipe plane.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO
+
+
+class FlightRecorder:
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        #: Total entries ever recorded, including ones the ring evicted.
+        self.total_recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, entry: dict) -> None:
+        self._entries.append(entry)
+        self.total_recorded += 1
+
+    def record_state(self, plane: str, name: str, **attrs: object) -> None:
+        entry: dict = {"type": "state", "plane": plane, "name": name}
+        entry.update(attrs)
+        self.record(entry)
+
+    def entries(self) -> list[dict]:
+        return list(self._entries)
+
+    def tail(self, n: int = 16, **match: object) -> list[dict]:
+        """Last ``n`` entries whose fields equal every ``match`` kwarg."""
+        if match:
+            picked = [
+                e
+                for e in self._entries
+                if all(e.get(k) == v for k, v in match.items())
+            ]
+        else:
+            picked = list(self._entries)
+        return picked[-n:]
+
+    def drain(self) -> list[dict]:
+        """Return and clear the buffered entries (worker delta shipping)."""
+        out = list(self._entries)
+        self._entries.clear()
+        return out
+
+    # -- JSONL ------------------------------------------------------------
+    def write_jsonl(self, fh: IO[str]) -> int:
+        count = 0
+        for entry in self._entries:
+            fh.write(json.dumps(entry, sort_keys=True, default=str))
+            fh.write("\n")
+            count += 1
+        return count
+
+    def dump(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            self.write_jsonl(fh)
+        return path

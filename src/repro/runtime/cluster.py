@@ -54,6 +54,7 @@ import numpy as np
 from repro.core.service import ServiceConfig, StreamingInference
 from repro.distributed.ons import ObjectNamingService
 from repro.metrics.accuracy import containment_error_rate
+from repro.obs import get_telemetry
 from repro.runtime.envelope import MIGRATE_REQUEST, Envelope, MigrationEvent, encode_tag_list
 from repro.runtime.node import SiteNode
 from repro.runtime.transport import InProcessTransport, Transport
@@ -227,6 +228,7 @@ class Cluster:
     def run(self, horizon: int) -> None:
         """Advance every site to ``horizon``, one interval at a time."""
         interval = self.config.run_interval
+        tel = get_telemetry()
         for boundary in range(self.last_boundary + interval, horizon + 1, interval):
             # Crashes/recoveries scheduled inside the elapsed interval
             # take effect before the boundary's processing begins.
@@ -235,48 +237,62 @@ class Cluster:
             # interval get their migrated state absorbed *before* the
             # run that covers their arrival readings (§4.1 — the new
             # site retrieves state when the object reaches it).
-            for node in self.nodes:
-                fresh = self._site_call(
-                    node.site, "poll_arrivals", boundary - interval, boundary
-                )
-                self._route_arrivals(node, fresh, boundary)
-                self._sync()
+            with tel.span("federation", "route", boundary=boundary):
+                for node in self.nodes:
+                    fresh = self._site_call(
+                        node.site, "poll_arrivals", boundary - interval, boundary
+                    )
+                    self._route_arrivals(node, fresh, boundary)
+                    self._sync()
             # Then tick every site — concurrently under a threaded or
             # process transport; the runs are independent given routed
             # state.
-            for node in self.nodes:
-                if self._hosted:
-                    self.transport.site_cast(node.site, "advance_to", boundary)
-                else:
-                    self.transport.dispatch(
-                        node.site, partial(node.advance_to, boundary)
-                    )
-            self._sync()
+            with tel.span("federation", "tick", boundary=boundary):
+                for node in self.nodes:
+                    if self._hosted:
+                        self.transport.site_cast(node.site, "advance_to", boundary)
+                    else:
+                        self.transport.dispatch(
+                            node.site, partial(node.advance_to, boundary)
+                        )
+                self._sync()
             # Finally hand off query state owed from this interval's
             # migrations: the origin's tick just processed the objects'
             # final local events, so the automaton state is now final.
-            for node in self.nodes:
-                self._site_call(node.site, "flush_query_handoffs", boundary)
-                self._sync()
+            with tel.span("federation", "handoff", boundary=boundary):
+                for node in self.nodes:
+                    self._site_call(node.site, "flush_query_handoffs", boundary)
+                    self._sync()
             self.snapshots.append(self._snapshot(boundary))
             for frontend in self._frontends:
                 for node in self.nodes:
                     frontend.note_append(
                         node.site, self._site_call(node.site, "archive_boundary")
                     )
-            for replica in self._replicas:
-                replica.catch_up()
+            with tel.span("archive", "replica.catchup", boundary=boundary):
+                for replica in self._replicas:
+                    replica.catch_up()
             self.last_boundary = boundary
             if self._fault_cursor < len(self._fault_events):
                 # Checkpoints are only needed while crash/recover events
                 # are still ahead; once the last one has been applied,
                 # per-boundary serialization would be pure waste.
-                self.checkpoint_all()
+                with tel.span("federation", "checkpoint", boundary=boundary):
+                    self.checkpoint_all()
             # Between intervals — at barrier quiescence — a sharded
             # transport may reassign logical sites across its workers.
             rebalance = getattr(self.transport, "maybe_rebalance", None)
             if rebalance is not None:
                 rebalance()
+            # Also at quiescence: pull worker-side telemetry deltas back
+            # over the pipe plane. Out-of-band by construction — this
+            # command is only ever issued when telemetry is enabled and
+            # only between intervals, so a telemetry-off run's transport
+            # command stream is byte-identical to pre-telemetry builds.
+            if tel.enabled:
+                collect = getattr(self.transport, "collect_telemetry", None)
+                if collect is not None:
+                    collect(tel)
         if self._hosted:
             self._sync_back()
 
@@ -378,11 +394,17 @@ class Cluster:
             if op == "crash":
                 if site in self._down:
                     raise RuntimeError(f"site {site} is already down")
+                get_telemetry().record_state(
+                    "federation", "site.crash", site=site, boundary=boundary
+                )
                 self._site_call(site, "reset_fresh")
                 self._down.add(site)
             else:
                 if site not in self._down:
                     raise RuntimeError(f"site {site} is not down; cannot recover")
+                get_telemetry().record_state(
+                    "federation", "site.recover", site=site, boundary=boundary
+                )
                 checkpoint = self._checkpoints.get(site)
                 if checkpoint is not None:
                     self._site_call(site, "restore", checkpoint)

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro._util.rng import spawn_rng
 from repro.distributed.network import ACK, EDGE_ACK, RETRANSMIT
+from repro.obs import get_telemetry
 from repro.runtime.envelope import Envelope
 from repro.runtime.transport import Handler, InProcessTransport, Transport
 
@@ -186,6 +187,10 @@ class FaultyTransport(Transport):
         stats = getattr(self.inner, "worker_stats", None)
         return stats() if stats is not None else []
 
+    def collect_telemetry(self, tel=None) -> int:
+        collect = getattr(self.inner, "collect_telemetry", None)
+        return collect(tel) if collect is not None else 0
+
     # -- fault injection ----------------------------------------------------
 
     def _link_rng(self, src: int, dst: int) -> np.random.Generator:
@@ -243,20 +248,34 @@ class FaultyTransport(Transport):
             drops = self._drops.get(key, 0)
             if drops < faults.max_drops:
                 self._drops[key] = drops + 1
-                self.injected["drop"] += 1
+                self._note_fault("drop", env)
                 return 0
         copies = 1
         if roll_dup < faults.duplicate:
             copies = 2
-            self.injected["duplicate"] += 1
+            self._note_fault("duplicate", env)
             self._account(env, True)  # the extra wire copy
         if roll_delay < faults.delay:
-            self.injected["delay"] += 1
+            self._note_fault("delay", env)
             rounds = int(rng.integers(1, faults.max_delay + 1))
             for _ in range(copies):
                 self._hold(env, rounds)
             return 0
         return copies
+
+    def _note_fault(self, fault: str, env: Envelope) -> None:
+        """Count an injected fault (legacy dict + registry series) and,
+        when telemetry is on, log the state transition to the flight
+        recorder. Telemetry never feeds back into the RNG draws or the
+        delivery decision, so traced and untraced schedules are equal."""
+        self.injected[fault] += 1
+        self.ledger.registry.counter("faults_injected", fault=fault).inc()
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.recorder.record_state(
+                "faults", f"inject.{fault}",
+                src=env.src, dst=env.dst, kind=env.kind, seq=env.seq,
+            )
 
     # -- the flush barrier ---------------------------------------------------
 

@@ -69,6 +69,7 @@ from repro.runtime.envelope import (
     encode_single_query_state,
     encode_state_bundle,
 )
+from repro.obs import get_telemetry
 from repro.queries.compiler import QueryEngine
 from repro.runtime.router import QueryRouter
 from repro.runtime.transport import Transport
@@ -282,6 +283,17 @@ class SiteNode:
         started = time.perf_counter()
         self._feed_archive()
         record.phase_seconds["archive"] = time.perf_counter() - started
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit_span(
+                "site", "queries", record.phase_seconds["queries"],
+                site=self.site, boundary=boundary,
+            )
+            tel.emit_span(
+                "archive", "append", record.phase_seconds["archive"],
+                site=self.site, boundary=boundary,
+                archived_boundary=self.archive.last_boundary,
+            )
         self.service.truncate_history()
 
     def _feed_archive(self) -> None:
@@ -427,6 +439,18 @@ class SiteNode:
         the post-tick hand-off phase and merges with whatever partial
         match the new site has formed meanwhile.
         """
+        tel = get_telemetry()
+        with tel.span(
+            "federation", "migrate.export",
+            src=self.site, dst=requester, boundary=time,
+        ) as span:
+            self._export_migration(requester, tags, time, span)
+        if self.queries:
+            self._pending_handoffs.append((requester, tags))
+
+    def _export_migration(
+        self, requester: int, tags: list[EPC], time: int, span
+    ) -> None:
         exported = self.service.export_states(tags)
         # An empty state (no weights, no container, no change floor)
         # carries zero information — absorbing it is a no-op — so both
@@ -438,6 +462,7 @@ class SiteNode:
             for tag, state in exported.items()
             if not _is_empty_state(state)
         }
+        span.set(requested=len(tags), shipped=len(states))
         if not states:
             pass
         elif self.batch_migrations:
@@ -452,8 +477,6 @@ class SiteNode:
                 self._send(
                     Envelope(self.site, requester, INFERENCE_STATE, states[tag], time)
                 )
-        if self.queries:
-            self._pending_handoffs.append((requester, tags))
 
     def flush_query_handoffs(self, time: int) -> None:
         """Send owed query state (called by the cluster after the tick)."""
@@ -492,22 +515,25 @@ class SiteNode:
         response is likewise unsequenced and accounted under its own
         ledger kind.
         """
-        request = decode_history_request(env.payload)
-        answer = self.history.answer(request)
-        response = HistoryResponse(
-            request_id=request.request_id,
-            site=self.site,
-            as_of=self.archive.last_boundary,
-            kind=answer.kind,
-            last_update=answer.last_update,
-            rows=answer.rows,
-        )
-        self._require_transport().send(
-            Envelope(
-                self.site, env.src, HISTORY_RESPONSE,
-                encode_history_response(response), env.time,
+        tel = get_telemetry()
+        with tel.span("serving", "history.serve", site=self.site) as span:
+            request = decode_history_request(env.payload)
+            answer = self.history.answer(request)
+            span.set(request_id=request.request_id, kind=answer.kind)
+            response = HistoryResponse(
+                request_id=request.request_id,
+                site=self.site,
+                as_of=self.archive.last_boundary,
+                kind=answer.kind,
+                last_update=answer.last_update,
+                rows=answer.rows,
             )
-        )
+            self._require_transport().send(
+                Envelope(
+                    self.site, env.src, HISTORY_RESPONSE,
+                    encode_history_response(response), env.time,
+                )
+            )
 
     def _serve_replication(self, env: Envelope) -> None:
         """Answer a read replica's catch-up fetch with an archive delta.
@@ -519,26 +545,37 @@ class SiteNode:
         primary restart) falls back to a full-resync delta — see
         :mod:`repro.archive.replication`.
         """
-        fetch_id, cursor = decode_replica_fetch(env.payload)
-        delta = encode_archive_delta(self.archive, cursor, fetch_id)
-        self._require_transport().send(
-            Envelope(self.site, env.src, REPLICA_SEGMENTS, delta, env.time)
-        )
+        tel = get_telemetry()
+        with tel.span(
+            "archive", "replica.serve", site=self.site, dst=env.src
+        ) as span:
+            fetch_id, cursor = decode_replica_fetch(env.payload)
+            delta = encode_archive_delta(self.archive, cursor, fetch_id)
+            span.set(fetch_id=fetch_id, delta_bytes=len(delta))
+            self._require_transport().send(
+                Envelope(self.site, env.src, REPLICA_SEGMENTS, delta, env.time)
+            )
 
     def _absorb_inference(self, env: Envelope) -> None:
-        if self.batch_migrations:
-            raw = decode_state_bundle(env.payload)
-            arrivals = [
-                (CollapsedState.from_bytes(raw[tag]), len(raw[tag]))
-                for tag in sorted(raw)
-            ]
-        else:
-            arrivals = [(CollapsedState.from_bytes(env.payload), len(env.payload))]
-        for state, size in arrivals:
-            self.service.absorb_state(state)
-            self.migrations_in.append(
-                MigrationEvent(state.tag, env.src, self.site, env.time, size)
-            )
+        tel = get_telemetry()
+        with tel.span(
+            "federation", "migrate.absorb",
+            src=env.src, dst=self.site, seq=env.seq, boundary=env.time,
+        ) as span:
+            if self.batch_migrations:
+                raw = decode_state_bundle(env.payload)
+                arrivals = [
+                    (CollapsedState.from_bytes(raw[tag]), len(raw[tag]))
+                    for tag in sorted(raw)
+                ]
+            else:
+                arrivals = [(CollapsedState.from_bytes(env.payload), len(env.payload))]
+            span.set(states=len(arrivals), payload_bytes=len(env.payload))
+            for state, size in arrivals:
+                self.service.absorb_state(state)
+                self.migrations_in.append(
+                    MigrationEvent(state.tag, env.src, self.site, env.time, size)
+                )
 
     def _absorb_query_state(self, env: Envelope) -> None:
         if self.batch_migrations:

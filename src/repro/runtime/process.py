@@ -57,6 +57,8 @@ from multiprocessing import get_context, resource_tracker, shared_memory
 from typing import Callable, Mapping
 
 from repro.distributed.network import Network
+from repro.obs import get_telemetry
+from repro.obs.recorder import FlightRecorder
 from repro.runtime.checkpoint import peek_checkpoint_site
 from repro.runtime.envelope import Envelope
 from repro.runtime.transport import Handler, Transport
@@ -67,17 +69,42 @@ __all__ = ["ProcessTransport", "WorkerDied", "SHM_THRESHOLD"]
 class WorkerDied(RuntimeError):
     """A shard worker process exited (or stopped replying) mid-command.
 
-    Names the worker and the oldest in-flight operation, so a crash in
-    a 16-worker federation points at the actual victim instead of
-    leaving the parent blocked forever on a pipe read.
+    Names the worker, the oldest in-flight operation, *and* the dead
+    worker's flight-recorder tail (the last commands the parent routed
+    to it, plus any telemetry entries it shipped at the last barrier),
+    so a crash in a 16-worker federation points at the actual victim —
+    with its recent history — instead of leaving the parent blocked
+    forever on a pipe read.
     """
 
-    def __init__(self, worker: int, op: str, reason: str) -> None:
-        super().__init__(
-            f"shard worker {worker} died with {op!r} in flight: {reason}"
-        )
+    #: how many flight-recorder entries ride on the exception message.
+    TAIL = 16
+
+    def __init__(
+        self, worker: int, op: str, reason: str, tail: list[dict] | None = None
+    ) -> None:
         self.worker = worker
         self.op = op
+        self.tail = list(tail or [])[-self.TAIL :]
+        message = f"shard worker {worker} died with {op!r} in flight: {reason}"
+        if self.tail:
+            lines = "\n".join(f"  {self._entry_line(e)}" for e in self.tail)
+            message += (
+                f"\nflight recorder (last {len(self.tail)} entries for "
+                f"worker {worker}):\n{lines}"
+            )
+        super().__init__(message)
+
+    @staticmethod
+    def _entry_line(entry: dict) -> str:
+        kind = entry.get("type", "?")
+        name = entry.get("name", entry.get("op", "?"))
+        extras = ", ".join(
+            f"{k}={entry[k]}"
+            for k in ("plane", "op", "site", "boundary", "seq")
+            if k in entry and k != "op"
+        )
+        return f"[{kind}] {name}" + (f" ({extras})" if extras else "")
 
 #: payload size (bytes) at which a blob rides a shared-memory segment
 #: instead of the pickled control frame.
@@ -294,6 +321,11 @@ class ProcessTransport(Transport):
         #: reliability advertised to worker-side nodes; a lossy wrapper
         #: sets this to False before the fork.
         self.outer_reliable = True
+        #: always-on parent-side flight recorder: the recent commands
+        #: routed to each worker (plus telemetry entries workers shipped
+        #: at the last quiescence). Cheap — one small dict per command —
+        #: and what :class:`WorkerDied` quotes as the victim's tail.
+        self.flight = FlightRecorder(capacity=512)
 
     # -- registration -------------------------------------------------------
 
@@ -359,6 +391,13 @@ class ProcessTransport(Transport):
     def _worker_main(self, index: int, conn) -> None:
         channel = _Channel(conn)
         shim = _WorkerShim(self.outer_reliable)
+        # The fork copies the parent's telemetry buffers; discard them
+        # or the first delta pull would re-ship (double-count) every
+        # pre-fork parent entry.
+        fork_tel = get_telemetry()
+        if fork_tel.enabled:
+            fork_tel.registry.drain()
+            fork_tel.recorder.drain()
         hosted = {s for s, w in self._shard.items() if w == index}
         for site in hosted:
             self._site_ops[site]["attach"](shim)
@@ -405,6 +444,17 @@ class ProcessTransport(Transport):
                     hosted.discard(msg[1])
                 elif kind == "stats":
                     result = dict(stats, hosted_sites=sorted(hosted))
+                elif kind == "telemetry":
+                    # Out-of-band telemetry delta: the worker's registry
+                    # and flight-recorder contents since the last pull.
+                    # Only ever requested by the parent at barrier
+                    # quiescence with telemetry enabled, so it never
+                    # interleaves with data ops.
+                    tel = get_telemetry()
+                    if tel.enabled:
+                        result = (tel.registry.drain(), tel.recorder.drain())
+                    else:
+                        result = ({}, [])
                 else:  # pragma: no cover - protocol bug
                     raise RuntimeError(f"unknown command {kind!r}")
             except BaseException:
@@ -414,7 +464,7 @@ class ProcessTransport(Transport):
             stats["commands"] += 1
             outbox = shim.drain()
             stats["envelopes_out"] += len(outbox)
-            reply_kind = "call" if kind in ("call", "stats") else kind
+            reply_kind = "call" if kind in ("call", "stats", "telemetry") else kind
             try:
                 channel.send(("ret", reply_kind, result, outbox, err))
             except BrokenPipeError:  # pragma: no cover - parent went away
@@ -441,7 +491,11 @@ class ProcessTransport(Transport):
         while handle.pending and handle.channel.poll():
             self._pump(w)
         handle.pending += 1
-        handle.inflight.append(self._describe_cmd(msg))
+        desc = self._describe_cmd(msg)
+        handle.inflight.append(desc)
+        self.flight.record(
+            {"type": "state", "plane": "process", "name": "cmd", "worker": w, "op": desc}
+        )
         handle.channel.send(msg)
 
     #: how often the reply wait re-checks worker liveness (seconds).
@@ -469,15 +523,17 @@ class ProcessTransport(Transport):
                 # before the process exited (e.g. a clean "stop" race).
                 if handle.channel.poll():
                     break
-                raise WorkerDied(w, op, f"process exited with code "
-                                 f"{handle.process.exitcode}")
+                raise self._worker_died(
+                    w, op,
+                    f"process exited with code {handle.process.exitcode}",
+                )
             waited += self.PUMP_POLL
             if self.PUMP_TIMEOUT is not None and waited >= self.PUMP_TIMEOUT:
-                raise WorkerDied(w, op, f"no reply within {waited:.1f}s")
+                raise self._worker_died(w, op, f"no reply within {waited:.1f}s")
         try:
             reply = handle.channel.recv()
         except EOFError:
-            raise WorkerDied(w, op, "pipe closed mid-reply") from None
+            raise self._worker_died(w, op, "pipe closed mid-reply") from None
         handle.pending -= 1
         if handle.inflight:
             handle.inflight.popleft()
@@ -491,6 +547,20 @@ class ProcessTransport(Transport):
             self.egress(env)
         if kind == "call":
             self._call_results.append(result)
+
+    def _worker_died(self, w: int, op: str, reason: str) -> WorkerDied:
+        """Build the fatal diagnosis: the dead worker's flight-recorder
+        tail rides the exception, and — when telemetry is active with a
+        dump directory — the full window is dumped to JSONL."""
+        tail = self.flight.tail(WorkerDied.TAIL, worker=w)
+        tel = get_telemetry()
+        if tel.enabled:
+            for entry in tail:
+                tel.recorder.record(entry)
+            tel.record_state("process", "worker.died", worker=w, op=op, reason=reason)
+            if tel.dump_dir is not None:
+                tel.dump(f"worker-died-{w}")
+        return WorkerDied(w, op, reason, tail=tail)
 
     def _default_egress(self, env: Envelope) -> None:
         self.ledger.send(env.src, env.dst, env.kind, env.payload)
@@ -645,6 +715,35 @@ class ProcessTransport(Transport):
         return True
 
     # -- introspection --------------------------------------------------------
+
+    def collect_telemetry(self, tel=None) -> int:
+        """Pull each worker's telemetry delta over the pipe plane.
+
+        Called by the cluster between intervals — at barrier quiescence,
+        never mid-phase — and only when telemetry is enabled, so a
+        telemetry-off run issues a byte-identical command stream to a
+        build without this subsystem. Registry deltas merge into the
+        parent registry; span/state entries land in the parent recorder
+        (worker-stamped) and in the transport's own flight ring so a
+        later :class:`WorkerDied` can quote them. Returns the number of
+        entries absorbed.
+        """
+        tel = tel if tel is not None else get_telemetry()
+        if not tel.enabled or not self._started or not self._workers:
+            return 0
+        absorbed = 0
+        for w in range(len(self._workers)):
+            self._send_cmd(w, ("telemetry",))
+            while not self._call_results:
+                self._pump(w)
+            registry_delta, entries = self._call_results.pop()
+            tel.registry.merge(registry_delta)
+            for entry in entries:
+                entry.setdefault("worker", w)
+                tel.recorder.record(entry)
+                self.flight.record(entry)
+                absorbed += 1
+        return absorbed
 
     def worker_stats(self) -> list[dict]:
         """Per-worker counters: busy CPU/wall seconds, commands,

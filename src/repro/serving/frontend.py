@@ -59,6 +59,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping, NamedTuple, Sequence
 
+from repro.obs import get_telemetry
 from repro.runtime.envelope import HISTORY_REQUEST, HISTORY_RESPONSE, Envelope
 from repro.runtime.transport import Transport
 from repro.serving.routing import HashRing, TenantPolicy
@@ -459,6 +460,15 @@ class QueryFrontend:
         so a site that stays dead through the round limit draws
         O(log MAX_ROUNDS) retransmits, not one per round.
         """
+        tel = get_telemetry()
+        with tel.span("serving", "gather", requests=len(batch)) as gather_span:
+            return self._gather_rounds(batch, gather_span)
+
+    def _gather_rounds(
+        self,
+        batch: Sequence[tuple[int, HistoryRequest]],
+        gather_span,
+    ) -> dict[int, dict[int, HistoryResponse]]:
         transport = self._require_transport()
         pending: dict[int, tuple[bytes, dict[int, int], HistoryRequest]] = {}
         with self._lock:
@@ -480,6 +490,7 @@ class QueryFrontend:
                     if not missing:
                         out[request_id] = dict(arrived)
                         del pending[request_id]
+                        gather_span.set(rounds=round_index + 1)
                         continue
                     for site in missing:
                         next_round, delay = backoff.get((request_id, site), (0, 1))

@@ -42,6 +42,7 @@ from repro.archive.replication import (
     encode_replica_fetch,
 )
 from repro.archive.store import SiteArchive
+from repro.obs import get_telemetry
 from repro.runtime.envelope import (
     HISTORY_REQUEST,
     HISTORY_RESPONSE,
@@ -239,11 +240,17 @@ class ArchiveReplica:
         all just cost extra rounds on a lossy transport.
         """
         transport = self._require_transport()
-        for round_index in range(max_rounds):
-            self.request_catchup()
-            transport.flush()
-            if self.caught_up:
-                return round_index + 1
+        tel = get_telemetry()
+        with tel.span(
+            "archive", "replica.catch_up",
+            site=self.site_id, primary=self.primary,
+        ) as span:
+            for round_index in range(max_rounds):
+                self.request_catchup()
+                transport.flush()
+                if self.caught_up:
+                    span.set(rounds=round_index + 1)
+                    return round_index + 1
         raise RuntimeError(
             f"replica {self.site_id} not caught up with primary "
             f"{self.primary} after {max_rounds} rounds"
